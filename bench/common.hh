@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: table formatting and
+ * paper-vs-measured comparison rows.
+ *
+ * Note on methodology: these harnesses report *simulated* time and
+ * throughput from the discrete-event model, not host wall-clock time —
+ * which is why they print tables directly instead of wrapping runs in
+ * google-benchmark's timing loop (that would measure the simulator,
+ * not the system under study). A google-benchmark microbenchmark of
+ * the simulation kernel itself lives in sim_microbench.cc.
+ */
+
+#ifndef CG_BENCH_COMMON_HH
+#define CG_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cg::bench {
+
+inline void
+banner(const std::string& title, const std::string& paper_ref)
+{
+    std::printf("\n=============================================="
+                "==============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================"
+                "============================\n");
+}
+
+inline void
+note(const std::string& text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+/** "paper X, measured Y" comparison row. */
+inline void
+compareRow(const std::string& what, double paper, double measured,
+           const std::string& unit)
+{
+    const double ratio = paper != 0.0 ? measured / paper : 0.0;
+    std::printf("  %-44s paper %10.2f %-6s measured %10.2f %-6s "
+                "(x%.2f)\n",
+                what.c_str(), paper, unit.c_str(), measured,
+                unit.c_str(), ratio);
+}
+
+inline void
+sectionEnd()
+{
+    std::printf("\n");
+}
+
+} // namespace cg::bench
+
+#endif // CG_BENCH_COMMON_HH

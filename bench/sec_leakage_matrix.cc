@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The security matrix (sections 2.2-2.4): victim residue an attacker
+ * VM can observe per microarchitectural channel, per configuration.
+ * Not a paper table, but the measurable form of its security claims:
+ * core gapping zeroes every per-core channel; flush-based mitigations
+ * only cover predictors/buffers; shared LLC and the CrossTalk staging
+ * buffer remain out of scope in every configuration.
+ */
+
+#include "attacks/lab.hh"
+#include "bench/common.hh"
+#include "sim/simulation.hh"
+#include "workloads/coremark.hh"
+
+namespace sim = cg::sim;
+namespace guest = cg::guest;
+namespace host = cg::host;
+using namespace cg::attacks;
+using namespace cg::workloads;
+using cg::bench::banner;
+using sim::msec;
+
+namespace {
+
+LeakReport
+runLab(RunMode mode)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 6;
+    cfg.mode = mode;
+    Testbed bed(cfg);
+    guest::VmConfig vcfg;
+    vcfg.footprint = 900;
+    VmInstance *victim, *attacker;
+    if (isGapped(mode)) {
+        victim = &bed.createVm("victim", 3, vcfg);
+        attacker = &bed.createVm("attacker", 3, vcfg);
+    } else {
+        std::vector<sim::CoreId> cores{0, 1};
+        host::CpuMask mask;
+        for (sim::CoreId c : cores)
+            mask.set(c);
+        victim = &bed.createVmOn("victim", cores, mask, 2, vcfg);
+        attacker = &bed.createVmOn("attacker", cores, mask, 2, vcfg);
+    }
+    CoreMarkPro::Config wcfg;
+    wcfg.duration = 400 * msec;
+    CoreMarkPro victim_work(bed, *victim, wcfg);
+    victim_work.install();
+    AttackLab::Config acfg;
+    acfg.duration = 400 * msec;
+    AttackLab lab(bed, *attacker, victim->vm->domain(), acfg);
+    lab.install();
+    bed.spawnStart();
+    bed.run(5 * sim::sec);
+    return lab.report();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Security matrix: observable victim residue per channel",
+           "sections 2.2-2.4 (threat model), invariant I5");
+    const RunMode modes[] = {RunMode::SharedCore,
+                             RunMode::SharedCoreCvm,
+                             RunMode::CoreGapped};
+    std::vector<LeakReport> reports;
+    for (RunMode m : modes)
+        reports.push_back(runLab(m));
+
+    std::printf("  mean victim entries observed per positive probe "
+                "(0 = channel closed)\n");
+    std::printf("  %-16s %14s %16s %14s\n", "channel", "shared VM",
+                "shared-core CVM", "core-gapped");
+    for (Channel c :
+         {Channel::L1d, Channel::L1i, Channel::L2, Channel::Tlb,
+          Channel::Btb, Channel::StoreBuffer, Channel::Llc,
+          Channel::StagingBuffer}) {
+        std::printf("  %-16s", channelName(c));
+        for (const LeakReport& r : reports) {
+            const ChannelReading& ch = r.at(c);
+            const double mean =
+                ch.probes > 0 ? static_cast<double>(ch.victimEntriesSeen) /
+                                    static_cast<double>(ch.probes)
+                              : 0.0;
+            std::printf(" %14.1f", mean);
+        }
+        const bool shared_struct =
+            c == Channel::Llc || c == Channel::StagingBuffer;
+        std::printf("   %s\n",
+                    shared_struct ? "(shared: out of scope)" : "");
+    }
+    std::printf("\nclaims verified:\n");
+    std::printf("  - shared VM leaks per-core state:        %s\n",
+                reports[0].anySameCoreLeak() ? "yes (as expected)"
+                                             : "NO (unexpected)");
+    std::printf("  - CVM flushes cover only predictors:     %s\n",
+                reports[1].at(Channel::Btb).victimEntriesSeen == 0 &&
+                        reports[1].at(Channel::L1d).leaked()
+                    ? "yes (caches/TLB still leak)"
+                    : "NO (unexpected)");
+    std::printf("  - core gapping closes all same-core:     %s\n",
+                !reports[2].anySameCoreLeak() ? "yes (zero residue)"
+                                              : "NO (unexpected)");
+    std::printf("  - CrossTalk staging buffer remains open: %s\n",
+                reports[2].at(Channel::StagingBuffer).leaked()
+                    ? "yes (as the paper concedes)"
+                    : "NO (unexpected)");
+    cg::bench::sectionEnd();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation kernel itself
+ * (wall-clock performance of the event queue, coroutine processes, and
+ * a full testbed boot). These bound how long the table/figure
+ * harnesses take, and catch regressions in the simulator's hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "workloads/coremark.hh"
+
+namespace sim = cg::sim;
+using namespace cg::workloads;
+
+namespace {
+
+void
+eventQueueChurn(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i) {
+            q.schedule(static_cast<sim::Tick>(i) * sim::nsec,
+                       [&sink] { ++sink; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(eventQueueChurn)->Arg(1000)->Arg(100000);
+
+sim::Proc<void>
+pingPong(sim::Channel<int>& a, sim::Channel<int>& b, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        a.send(i);
+        (void)co_await b.recv();
+    }
+}
+
+sim::Proc<void>
+echo(sim::Channel<int>& a, sim::Channel<int>& b, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        int v = co_await a.recv();
+        b.send(v);
+    }
+}
+
+void
+coroutineChannelPingPong(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulation s;
+        sim::Channel<int> a, b;
+        s.spawn("ping", pingPong(a, b, static_cast<int>(state.range(0))));
+        s.spawn("pong", echo(a, b, static_cast<int>(state.range(0))));
+        s.run();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(coroutineChannelPingPong)->Arg(10000);
+
+void
+coreGappedBoot(benchmark::State& state)
+{
+    for (auto _ : state) {
+        Testbed::Config cfg;
+        cfg.numCores = 16;
+        cfg.mode = RunMode::CoreGapped;
+        Testbed bed(cfg);
+        VmInstance& vm = bed.createVm("boot", 16);
+        CoreMarkPro::Config wcfg;
+        wcfg.duration = 50 * sim::msec;
+        CoreMarkPro cm(bed, vm, wcfg);
+        cm.install();
+        bed.spawnStart();
+        bed.run(2 * sim::sec);
+        benchmark::DoNotOptimize(cm.result().iterations);
+    }
+}
+BENCHMARK(coreGappedBoot);
+
+} // namespace
+
+BENCHMARK_MAIN();

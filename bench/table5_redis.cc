@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table 5: redis-benchmark, 50 clients, 512-byte objects, over SR-IOV
+ * (16 physical cores: 16-vCPU shared VM vs 15-vCPU core-gapped CVM).
+ *
+ *                    Throughput    Latency (ms)
+ *                       (krps)   mean   p95   p99
+ *   SET  shared core     51.7    0.52  0.60  1.20
+ *        core gapped     56.2    0.63  0.97  1.44
+ *   GET  shared core     48.8    0.54  0.64  1.20
+ *        core gapped     55.3    0.57  0.78  1.24
+ *   LRANGE 100 shared    11.6    1.51  2.03  2.38
+ *        core gapped     14.5    1.24  1.56  1.82
+ */
+
+#include <map>
+
+#include "bench/common.hh"
+#include "sim/simulation.hh"
+#include "workloads/redis.hh"
+
+namespace sim = cg::sim;
+using namespace cg::workloads;
+using cg::bench::banner;
+
+namespace {
+
+RedisBenchmark::Result
+runRedis(RunMode mode, RedisOp op)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 16;
+    cfg.mode = mode;
+    Testbed bed(cfg);
+    VmInstance& vm = bed.createVm("redis", 16);
+    bed.addSriovNic(vm);
+    SriovGuestNic nic(*vm.sriov);
+    RemoteHost clients(bed.sim(), bed.fabric(),
+                       bed.machine().costs().remoteStack);
+    RedisBenchmark::Config rcfg;
+    rcfg.op = op;
+    rcfg.clients = 50;
+    rcfg.duration = 2 * sim::sec;
+    RedisBenchmark rb(bed, vm, nic, clients, rcfg);
+    rb.install();
+    bed.spawnStart();
+    bed.run(6 * sim::sec);
+    return rb.result();
+}
+
+void
+row(const char* label, const RedisBenchmark::Result& r)
+{
+    std::printf("  %-22s %8.1f %8.2f %8.2f %8.2f\n", label,
+                r.throughputKrps, r.meanMs, r.p95Ms, r.p99Ms);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 5: Redis benchmark (50 clients, 512-byte objects)",
+           "table 5, section 5.4");
+    std::printf("  %-22s %8s %8s %8s %8s\n", "", "krps", "mean",
+                "p95", "p99");
+    struct PaperRow {
+        double krps, mean, p95, p99;
+    };
+    const std::map<RedisOp, std::pair<PaperRow, PaperRow>> paper = {
+        {RedisOp::Set,
+         {{51.7, 0.52, 0.60, 1.20}, {56.2, 0.63, 0.97, 1.44}}},
+        {RedisOp::Get,
+         {{48.8, 0.54, 0.64, 1.20}, {55.3, 0.57, 0.78, 1.24}}},
+        {RedisOp::Lrange100,
+         {{11.6, 1.51, 2.03, 2.38}, {14.5, 1.24, 1.56, 1.82}}},
+    };
+    for (RedisOp op :
+         {RedisOp::Set, RedisOp::Get, RedisOp::Lrange100}) {
+        RedisBenchmark::Result shared =
+            runRedis(RunMode::SharedCore, op);
+        RedisBenchmark::Result gapped =
+            runRedis(RunMode::CoreGapped, op);
+        std::printf("%s\n", redisOpName(op));
+        row("  shared core", shared);
+        row("  core gapped", gapped);
+        const auto& p = paper.at(op);
+        std::printf("    paper: shared %.1f krps, gapped %.1f krps "
+                    "(gapped/shared throughput: paper %.2fx, "
+                    "measured %.2fx)\n",
+                    p.first.krps, p.second.krps,
+                    p.second.krps / p.first.krps,
+                    shared.throughputKrps > 0
+                        ? gapped.throughputKrps / shared.throughputKrps
+                        : 0.0);
+    }
+    cg::bench::note("paper shape: core gapping wins throughput ~10-25% "
+                    "on all three ops. This model reproduces absolute "
+                    "magnitudes and latency tails but measures parity "
+                    "between modes: with NAPI coalescing a saturated "
+                    "server takes no interrupt-path exits in either "
+                    "configuration, and the paper's residual shared-"
+                    "core interference is finer-grained than the "
+                    "structural warm-up model (see EXPERIMENTS.md).");
+    cg::bench::sectionEnd();
+    return 0;
+}

@@ -1,0 +1,115 @@
+#include "attacks/lab.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::attacks {
+
+using sim::Compute;
+
+const char*
+channelName(Channel c)
+{
+    switch (c) {
+      case Channel::L1d:
+        return "l1d";
+      case Channel::L1i:
+        return "l1i";
+      case Channel::L2:
+        return "l2";
+      case Channel::Tlb:
+        return "tlb";
+      case Channel::Btb:
+        return "btb";
+      case Channel::StoreBuffer:
+        return "store-buffer";
+      case Channel::Llc:
+        return "llc";
+      case Channel::StagingBuffer:
+        return "staging-buffer";
+    }
+    return "?";
+}
+
+bool
+LeakReport::anySameCoreLeak() const
+{
+    for (Channel c : {Channel::L1d, Channel::L1i, Channel::L2,
+                      Channel::Tlb, Channel::Btb, Channel::StoreBuffer}) {
+        if (at(c).leaked())
+            return true;
+    }
+    return false;
+}
+
+bool
+LeakReport::anySharedLeak() const
+{
+    return at(Channel::Llc).leaked() ||
+           at(Channel::StagingBuffer).leaked();
+}
+
+AttackLab::AttackLab(Testbed& bed, VmInstance& attacker_vm,
+                     sim::DomainId victim_domain, Config cfg)
+    : bed_(bed), vm_(attacker_vm), victim_(victim_domain), cfg_(cfg)
+{}
+
+void
+AttackLab::install()
+{
+    for (int i = 0; i < vm_.numVcpus(); ++i) {
+        vm_.vcpu(i).startGuest(
+            sim::strFormat("%s/prober%d", vm_.vm->name().c_str(), i),
+            prober(i));
+    }
+}
+
+void
+AttackLab::record(Channel ch, std::size_t victim_entries)
+{
+    ChannelReading& r = report_.at(ch);
+    ++r.probes;
+    r.victimEntriesSeen += victim_entries;
+    if (victim_entries > 0)
+        ++r.positiveProbes;
+}
+
+void
+AttackLab::probeCore(sim::CoreId core)
+{
+    hw::CoreUarch& u = bed_.machine().core(core).uarch();
+    record(Channel::L1d, u.l1d.victimEntries(victim_));
+    record(Channel::L1i, u.l1i.victimEntries(victim_));
+    record(Channel::L2, u.l2.victimEntries(victim_));
+    record(Channel::Tlb, u.tlb.victimEntries(victim_));
+    record(Channel::Btb, u.btb.victimEntries(victim_));
+    record(Channel::StoreBuffer, u.storeBuffer.victimEntries(victim_));
+}
+
+void
+AttackLab::probeShared()
+{
+    hw::SharedUarch& s = bed_.machine().shared();
+    record(Channel::Llc, s.llc.victimEntries(victim_));
+    record(Channel::StagingBuffer,
+           s.stagingBuffer.victimEntries(victim_));
+}
+
+sim::Proc<void>
+AttackLab::prober(int vcpu_idx)
+{
+    co_await bed_.started().wait();
+    guest::VCpu& v = vm_.vcpu(vcpu_idx);
+    sim::Simulation& s = bed_.sim();
+    const Tick deadline = s.now() + cfg_.duration;
+    while (s.now() < deadline) {
+        // The probing code itself takes guest CPU (flush+reload sweep).
+        co_await Compute{cfg_.probePeriod};
+        const sim::CoreId core = v.currentCore();
+        if (core != sim::invalidCore)
+            probeCore(core);
+        probeShared();
+    }
+    co_await v.shutdown();
+}
+
+} // namespace cg::attacks

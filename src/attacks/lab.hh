@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The attack laboratory: a co-tenant attacker VM probing
+ * microarchitectural structures for a victim VM's residue.
+ *
+ * We cannot execute real speculation, but the paper's security argument
+ * reduces to reachability: which tagged structures can an attacker
+ * observe that still hold victim-domain entries without an intervening
+ * flush? The lab measures exactly that, per channel, under any testbed
+ * mode — turning section 2.4's threat model into checkable numbers:
+ *
+ *  - shared cores: victim residue visible in per-core structures
+ *    (caches and TLB even when the firmware flushes predictors);
+ *  - core-gapped: zero victim residue in any per-core structure
+ *    (invariant I5), while the out-of-scope shared channels (LLC, the
+ *    CrossTalk staging buffer) still show residue in every mode.
+ */
+
+#ifndef CG_ATTACKS_LAB_HH
+#define CG_ATTACKS_LAB_HH
+
+#include <map>
+#include <string>
+
+#include "workloads/testbed.hh"
+
+namespace cg::attacks {
+
+using workloads::Testbed;
+using workloads::VmInstance;
+using sim::Tick;
+
+/** The probe channels, named after the structures they sample. */
+enum class Channel {
+    L1d,
+    L1i,
+    L2,
+    Tlb,
+    Btb,
+    StoreBuffer,
+    Llc,           ///< shared: out of scope for core gapping
+    StagingBuffer, ///< shared: the CrossTalk channel
+};
+
+const char* channelName(Channel c);
+
+/** What one channel accumulated over a run. */
+struct ChannelReading {
+    std::uint64_t probes = 0;
+    std::uint64_t victimEntriesSeen = 0; ///< total residue observed
+    std::uint64_t positiveProbes = 0;    ///< probes seeing any residue
+
+    bool leaked() const { return victimEntriesSeen > 0; }
+};
+
+/** Results across channels. */
+class LeakReport
+{
+  public:
+    ChannelReading& at(Channel c) { return readings_[c]; }
+    const ChannelReading& at(Channel c) const
+    {
+        static const ChannelReading empty;
+        auto it = readings_.find(c);
+        return it == readings_.end() ? empty : it->second;
+    }
+
+    /** Residue observed in any per-core structure? */
+    bool anySameCoreLeak() const;
+
+    /** Residue observed in any shared structure? */
+    bool anySharedLeak() const;
+
+  private:
+    std::map<Channel, ChannelReading> readings_;
+};
+
+/**
+ * Runs an attacker workload inside @p attacker_vm that periodically
+ * probes the structures of whatever core it is executing on, plus the
+ * shared LLC and staging buffer, looking for @p victim_domain residue.
+ * The victim VM should run a workload that touches memory (e.g.
+ * CoreMarkPro).
+ */
+class AttackLab
+{
+  public:
+    struct Config {
+        Tick probePeriod = 300 * sim::usec;
+        Tick duration = 300 * sim::msec;
+    };
+
+    AttackLab(Testbed& bed, VmInstance& attacker_vm,
+              sim::DomainId victim_domain, Config cfg);
+
+    /** Install one prober per attacker vCPU. */
+    void install();
+
+    const LeakReport& report() const { return report_; }
+
+  private:
+    sim::Proc<void> prober(int vcpu_idx);
+    void probeCore(sim::CoreId core);
+    void probeShared();
+    void record(Channel ch, std::size_t victim_entries);
+
+    Testbed& bed_;
+    VmInstance& vm_;
+    sim::DomainId victim_;
+    Config cfg_;
+    LeakReport report_;
+};
+
+} // namespace cg::attacks
+
+#endif // CG_ATTACKS_LAB_HH

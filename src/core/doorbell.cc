@@ -1,0 +1,50 @@
+#include "core/doorbell.hh"
+
+#include <algorithm>
+
+namespace cg::core {
+
+ExitDoorbell::ExitDoorbell(host::Kernel& kernel)
+    : kernel_(kernel), ipi_(kernel.allocateIpi())
+{
+    kernel_.setIpiHandler(ipi_, [this](sim::CoreId c) { onIpi(c); });
+}
+
+std::uint64_t
+ExitDoorbell::subscribe(sim::CoreId core, Handler fn)
+{
+    const std::uint64_t id = nextSubId_++;
+    subs_[core].emplace_back(id, std::move(fn));
+    return id;
+}
+
+void
+ExitDoorbell::unsubscribe(sim::CoreId core, std::uint64_t id)
+{
+    auto it = subs_.find(core);
+    if (it == subs_.end())
+        return;
+    auto& v = it->second;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [id](const auto& p) { return p.first == id; }),
+            v.end());
+}
+
+void
+ExitDoorbell::ring(sim::CoreId core)
+{
+    ++rings_;
+    kernel_.sendIpi(core, ipi_);
+}
+
+void
+ExitDoorbell::onIpi(sim::CoreId core)
+{
+    auto it = subs_.find(core);
+    if (it == subs_.end())
+        return;
+    for (auto& [id, fn] : it->second)
+        fn();
+}
+
+} // namespace cg::core

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The core-gapped confidential VM runner — the paper's primary
+ * contribution assembled: dedicated cores taken from the host via
+ * hotplug and handed to the security monitor, vCPU run calls as
+ * asynchronous cross-core RPCs with IPI-notified wake-up (fig. 4),
+ * short RMM calls as busy-wait synchronous RPCs, and a kick path that
+ * targets the REC's bound core.
+ *
+ * The Quarantine-style ablation (busyWaitRun) replaces the blocking
+ * run call with yield-polling, reproducing the scalability collapse of
+ * fig. 6's "busy waiting" lines.
+ */
+
+#ifndef CG_CORE_GAPPED_VM_HH
+#define CG_CORE_GAPPED_VM_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/doorbell.hh"
+#include "core/rpc.hh"
+#include "vmm/kvm.hh"
+
+namespace cg::core {
+
+struct GappedVmConfig {
+    /** Dedicated guest cores, one per vCPU (from the CorePlanner). */
+    std::vector<sim::CoreId> guestCores;
+    /** Host cores for the vCPU threads, wake-up thread, and VMM. */
+    host::CpuMask hostCores = host::CpuMask::single(0);
+    /** Quarantine-style yield-polling instead of blocking run calls. */
+    bool busyWaitRun = false;
+};
+
+class GappedVm
+{
+  public:
+    /**
+     * @p kvm must be a SharedCoreCvm-mode KvmVm with a realm attached
+     * via createRealmFor(); this runner replaces its vCPU threads and
+     * its RMI transport with the cross-core machinery.
+     */
+    GappedVm(vmm::KvmVm& kvm, ExitDoorbell& doorbell,
+             GappedVmConfig cfg);
+    ~GappedVm();
+
+    /**
+     * Bring the CVM up: offline the dedicated cores (hotplug), hand
+     * them to the monitor, and start the host-side threads. Await from
+     * a process not running on the dedicated cores.
+     */
+    sim::Proc<void> start();
+
+    /**
+     * After guest shutdown: destroy RECs (releasing the core binding),
+     * scrub the dedicated cores of guest residue, stop monitor loops,
+     * and hotplug the cores back online.
+     */
+    sim::Proc<void> teardown();
+
+    /**
+     * Host-initiated termination of a possibly-running CVM (the
+     * "terminated by the host" case of section 4.2): force every vCPU
+     * out of guest execution, stop its run loop, then tear down. The
+     * guest gets no say; its state is scrubbed before the cores return
+     * to the host.
+     */
+    sim::Proc<void> terminate();
+
+    vmm::KvmVm& kvm() { return kvm_; }
+    sim::Gate& shutdownGate() { return kvm_.shutdownGate(); }
+    SyncRpcQueue& syncRpc() { return syncRpc_; }
+
+    /**
+     * Move a vCPU to a fresh dedicated core at runtime (the paper's
+     * deferred coarse-timescale rebinding, section 3): park the vCPU
+     * thread after its next exit, retire the old monitor loop,
+     * dedicate @p new_core via hotplug, have the monitor rebind (and
+     * scrub the old core), then resume on the new placement and hand
+     * the old core back to the host.
+     * @return false if the monitor refused the rebind.
+     */
+    sim::Proc<bool> rebindVcpu(int idx, sim::CoreId new_core);
+
+    /** Current dedicated core of a vCPU. */
+    sim::CoreId coreOf(int idx) const
+    {
+        return cfg_.guestCores.at(static_cast<size_t>(idx));
+    }
+
+    /**
+     * Direct interrupt delivery (section 5.3's anticipated extension):
+     * route physical interrupt @p spi to @p vcpu_idx's dedicated core
+     * and have the monitor inject @p virq there without any VM exit.
+     * Routes follow the vCPU across rebinds.
+     */
+    void mapDirectIrq(hw::IntId spi, hw::IntId virq, int vcpu_idx);
+
+    /** Virtual interrupts delivered directly by the monitor (stat). */
+    std::uint64_t directInjections() const { return directInjections_; }
+
+    /**
+     * Host-initiated suspend (section 7 lists it among the VM
+     * lifecycle operations core gapping keeps, unlike Core Slicing):
+     * every vCPU is forced out of guest execution and its run loop is
+     * parked. The cores stay dedicated; guest state stays in place.
+     */
+    sim::Proc<void> suspend();
+
+    /** Resume a suspended VM: run loops repost their run calls. */
+    void resume();
+
+    bool suspended() const { return suspended_; }
+
+    /** Monitor-side run-to-run latency (exit to next run call). */
+    sim::LatencyStat& runToRun() { return runToRun_; }
+
+    /** Host-side async run-call round trip (post to response taken). */
+    sim::LatencyStat& runCallRtt() { return runCallRtt_; }
+
+  private:
+    struct Park {
+        bool requested = false;
+        bool parked = false;
+        sim::Notify parkedNotify;
+        sim::Gate resume;
+    };
+
+    sim::Proc<void> monitorCoreLoop(int idx, sim::CoreId core,
+                                    std::uint64_t gen);
+    sim::Proc<void> vcpuThreadBody(int idx);
+    sim::Proc<void> wakeupThreadBody();
+
+    vmm::KvmVm& kvm_;
+    rmm::Rmm& rmm_;
+    int realm_;
+    ExitDoorbell& doorbell_;
+    GappedVmConfig cfg_;
+    sim::Notify monitorWork_;
+    SyncRpcQueue syncRpc_;
+    SyncRpcTransport transport_;
+    std::vector<std::unique_ptr<RunSlot>> slots_;
+    std::vector<host::Thread*> vcpuThreads_;
+    host::Thread* wakeupThread_ = nullptr;
+    sim::Notify wakeupNotify_;
+    bool doorbellPending_ = false;
+    std::uint64_t doorbellSub_ = 0;
+    std::vector<sim::Process*> monitorProcs_;
+    std::vector<std::uint64_t> monGen_;
+    std::vector<std::unique_ptr<Park>> parks_;
+    bool stopMonitors_ = false;
+    bool started_ = false;
+    sim::CoreId doorbellTarget_ = 0;
+    sim::LatencyStat runToRun_;
+    sim::LatencyStat runCallRtt_;
+    /** spi -> (vcpu index, virq) for direct delivery. */
+    std::map<hw::IntId, std::pair<int, hw::IntId>> directIrqs_;
+    std::uint64_t directInjections_ = 0;
+    bool suspended_ = false;
+};
+
+} // namespace cg::core
+
+#endif // CG_CORE_GAPPED_VM_HH

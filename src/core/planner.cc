@@ -1,0 +1,107 @@
+#include "core/planner.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace cg::core {
+
+using sim::CoreId;
+
+CorePlanner::CorePlanner(hw::Machine& machine,
+                         host::CpuMask host_reserved)
+    : machine_(machine),
+      hostReserved_(host_reserved),
+      reserved_(static_cast<size_t>(machine.numCores()), false)
+{
+    if ((host_reserved & host::CpuMask::firstN(machine.numCores()))
+            .empty()) {
+        sim::fatal("planner: no host cores reserved");
+    }
+}
+
+bool
+CorePlanner::isReserved(CoreId c) const
+{
+    return reserved_.at(static_cast<size_t>(c));
+}
+
+int
+CorePlanner::freeCores() const
+{
+    int n = 0;
+    for (CoreId c = 0; c < machine_.numCores(); ++c) {
+        if (!hostReserved_.test(c) &&
+            !reserved_[static_cast<size_t>(c)]) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+int
+CorePlanner::reservedCores() const
+{
+    int n = 0;
+    for (bool r : reserved_)
+        n += r ? 1 : 0;
+    return n;
+}
+
+std::optional<std::vector<CoreId>>
+CorePlanner::reserve(int n)
+{
+    if (n <= 0)
+        sim::fatal("planner: reserve(%d)", n);
+    if (n > freeCores())
+        return std::nullopt; // admission control: never over-commit
+
+    // Collect free cores per NUMA node.
+    std::map<int, std::vector<CoreId>> by_node;
+    for (CoreId c = 0; c < machine_.numCores(); ++c) {
+        if (!hostReserved_.test(c) && !reserved_[static_cast<size_t>(c)])
+            by_node[machine_.core(c).numaNode()].push_back(c);
+    }
+    // Prefer the node that fits with the least leftover (best fit);
+    // fall back to spilling across nodes in node order.
+    int best_node = -1;
+    std::size_t best_slack = ~0ull;
+    for (const auto& [node, cores] : by_node) {
+        if (static_cast<int>(cores.size()) >= n &&
+            cores.size() - static_cast<size_t>(n) < best_slack) {
+            best_node = node;
+            best_slack = cores.size() - static_cast<size_t>(n);
+        }
+    }
+    std::vector<CoreId> out;
+    if (best_node >= 0) {
+        const auto& cores = by_node[best_node];
+        out.assign(cores.begin(), cores.begin() + n);
+    } else {
+        for (const auto& [node, cores] : by_node) {
+            for (CoreId c : cores) {
+                if (static_cast<int>(out.size()) == n)
+                    break;
+                out.push_back(c);
+            }
+        }
+    }
+    CG_ASSERT(static_cast<int>(out.size()) == n,
+              "planner accounting broken");
+    for (CoreId c : out)
+        reserved_[static_cast<size_t>(c)] = true;
+    return out;
+}
+
+void
+CorePlanner::release(const std::vector<CoreId>& cores)
+{
+    for (CoreId c : cores) {
+        CG_ASSERT(reserved_.at(static_cast<size_t>(c)),
+                  "releasing unreserved core %d", c);
+        reserved_[static_cast<size_t>(c)] = false;
+    }
+}
+
+} // namespace cg::core

@@ -1,0 +1,105 @@
+#include "core/rpc.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::core {
+
+using sim::Compute;
+using sim::Delay;
+
+// ------------------------------------------------------------ SyncRpcQueue
+
+Proc<rmm::RmiStatus>
+SyncRpcQueue::call(std::function<rmm::RmiStatus()> op)
+{
+    auto call = std::make_shared<SyncCall>();
+    call->op = std::move(op);
+    queue_.push_back(call);
+    // The argument cache line travels to the polling monitor core.
+    sim::Simulation& sim = machine_.sim();
+    const hw::Costs& costs = machine_.costs();
+    sim::Notify& mn = monitorPoke_;
+    sim.queue().scheduleIn(machine_.cost(costs.cacheLineTransfer),
+                           [&mn] { mn.notifyAll(); });
+    // Busy-wait for the response: the host thread spins (and thus
+    // consumes CPU) until the response line arrives.
+    while (!call->done)
+        co_await Compute{machine_.cost(costs.pollReaction)};
+    co_return call->result;
+}
+
+Proc<void>
+SyncRpcQueue::serviceOne()
+{
+    if (queue_.empty())
+        co_return;
+    std::shared_ptr<SyncCall> call = queue_.front();
+    queue_.pop_front();
+    const hw::Costs& costs = machine_.costs();
+    // Poll pickup, handler body, response line back to the caller.
+    co_await Compute{machine_.cost(costs.pollReaction) +
+                     machine_.cost(costs.rmiShortCall)};
+    call->result = call->op();
+    co_await Delay{machine_.cost(costs.cacheLineTransfer)};
+    call->done = true;
+    ++served_;
+}
+
+// ----------------------------------------------------------------- RunSlot
+
+RunSlot::~RunSlot()
+{
+    // Cancel in-flight wire events so they never touch freed memory.
+    machine_.sim().queue().cancel(pendingPost_);
+    machine_.sim().queue().cancel(pendingPublish_);
+}
+
+void
+RunSlot::post(rmm::RecEnterArgs args)
+{
+    CG_ASSERT(state_ == State::Idle, "posting to a busy run slot");
+    args_ = std::move(args);
+    state_ = State::Posted;
+    delivered_ = false;
+    pendingPost_ = machine_.sim().queue().scheduleIn(
+        machine_.cost(machine_.costs().cacheLineTransfer), [this] {
+            pendingPost_ = sim::invalidEventId;
+            monitorPoke_.notifyAll();
+        });
+}
+
+Proc<rmm::RecEnterArgs>
+RunSlot::takeArgs()
+{
+    CG_ASSERT(state_ == State::Posted, "takeArgs with nothing posted");
+    state_ = State::Running;
+    co_await Compute{machine_.cost(machine_.costs().pollReaction)};
+    co_return std::move(args_);
+}
+
+void
+RunSlot::publish(rmm::RecRunResult result)
+{
+    CG_ASSERT(state_ == State::Running, "publish without a run");
+    result_ = std::move(result);
+    // The exit record becomes host-visible after the line transfer;
+    // the caller rings the doorbell separately.
+    pendingPublish_ = machine_.sim().queue().scheduleIn(
+        machine_.cost(machine_.costs().cacheLineTransfer), [this] {
+            pendingPublish_ = sim::invalidEventId;
+            state_ = State::Done;
+            hostNotify_.notifyAll();
+        });
+}
+
+Proc<rmm::RecRunResult>
+RunSlot::takeResponse()
+{
+    CG_ASSERT(state_ == State::Done, "takeResponse with no response");
+    state_ = State::Idle;
+    co_await Compute{
+        machine_.cost(machine_.costs().cacheLineTransfer)};
+    co_return std::move(result_);
+}
+
+} // namespace cg::core

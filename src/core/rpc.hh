@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cross-core RPC channels on shared (non-confidential) memory — the
+ * transport that replaces same-core privilege transitions in the
+ * core-gapped design (sections 3 and 4.3).
+ *
+ * Two kinds, mirroring the paper's split:
+ *
+ *  - SyncRpc: short RMM calls (page-table updates etc.). The host
+ *    thread writes arguments and busy-polls for the response; a
+ *    dedicated monitor core that is otherwise idle picks the call up
+ *    from its polling loop. Round trip: ~2 cache-line transfers plus
+ *    poll reactions (table 2: 257.7 ns).
+ *
+ *  - RunSlot: the asynchronous vCPU run call. The host posts arguments
+ *    and blocks; the monitor runs the guest, writes the exit record,
+ *    and rings the doorbell; the wake-up thread unblocks the vCPU
+ *    thread (table 2: 2757.6 ns; fig. 4).
+ */
+
+#ifndef CG_CORE_RPC_HH
+#define CG_CORE_RPC_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "hw/machine.hh"
+#include "rmm/rmm.hh"
+#include "sim/sync.hh"
+#include "vmm/kvm.hh"
+
+namespace cg::core {
+
+using sim::Proc;
+using sim::Tick;
+
+/**
+ * A pending short synchronous call. Shared between the caller's
+ * coroutine frame and the service queue so that a caller killed
+ * mid-call (VM teardown) leaves no dangling queue entry.
+ */
+struct SyncCall {
+    std::function<rmm::RmiStatus()> op;
+    rmm::RmiStatus result = rmm::RmiStatus::Success;
+    bool done = false;
+};
+
+/**
+ * The shared-memory mailbox for short calls of one VM. Host side posts;
+ * any of the VM's dedicated monitor cores services it while idle.
+ */
+class SyncRpcQueue
+{
+  public:
+    /** @p monitor_poke is notified (after wire delay) on each post. */
+    SyncRpcQueue(hw::Machine& m, sim::Notify& monitor_poke)
+        : machine_(m), monitorPoke_(monitor_poke)
+    {}
+
+    /** Host side: post and busy-wait (caller is a host thread). */
+    Proc<rmm::RmiStatus> call(std::function<rmm::RmiStatus()> op);
+
+    /** Monitor side: anything to service? */
+    bool pending() const { return !queue_.empty(); }
+
+    /** Monitor side: service one call (charges handler+response). */
+    Proc<void> serviceOne();
+
+    std::uint64_t callsServed() const { return served_; }
+
+  private:
+    hw::Machine& machine_;
+    sim::Notify& monitorPoke_;
+    std::deque<std::shared_ptr<SyncCall>> queue_;
+    std::uint64_t served_ = 0;
+};
+
+/** RmiTransport backed by a SyncRpcQueue (for KvmVm::cvmMapPage). */
+class SyncRpcTransport : public vmm::RmiTransport
+{
+  public:
+    explicit SyncRpcTransport(SyncRpcQueue& q) : queue_(q) {}
+
+    Proc<rmm::RmiStatus>
+    call(std::function<rmm::RmiStatus()> op) override
+    {
+        return queue_.call(std::move(op));
+    }
+
+  private:
+    SyncRpcQueue& queue_;
+};
+
+/** The per-vCPU asynchronous run-call mailbox (fig. 4). */
+class RunSlot
+{
+  public:
+    /** @p monitor_poke is notified (after wire delay) on each post. */
+    RunSlot(hw::Machine& m, sim::Notify& monitor_poke)
+        : machine_(m), monitorPoke_(monitor_poke)
+    {}
+
+    ~RunSlot();
+
+    /** @{ Host side. */
+    /** Post run arguments; visible to the monitor after wire delay. */
+    void post(rmm::RecEnterArgs args);
+
+    /** Response arrived and not yet consumed? */
+    bool responseReady() const { return state_ == State::Done; }
+
+    /** @{ Wake-up thread bookkeeping: notify each response once. */
+    bool needsDelivery() const
+    {
+        return state_ == State::Done && !delivered_;
+    }
+    void markDelivered() { delivered_ = true; }
+    /** @} */
+
+    /** Consume the response (host thread; charges the read). */
+    Proc<rmm::RecRunResult> takeResponse();
+
+    /** The vCPU thread blocks here; poked by the wake-up thread. */
+    sim::Notify& hostNotify() { return hostNotify_; }
+    /** @} */
+
+    /** @{ Monitor side. */
+    bool posted() const { return state_ == State::Posted; }
+
+    /** Begin executing a posted call (charges the pickup). */
+    Proc<rmm::RecEnterArgs> takeArgs();
+
+    /** Publish the result and make it host-visible. */
+    void publish(rmm::RecRunResult result);
+    /** @} */
+
+    bool idle() const { return state_ == State::Idle; }
+
+  private:
+    enum class State { Idle, Posted, Running, Done };
+
+    hw::Machine& machine_;
+    sim::Notify& monitorPoke_;
+    State state_ = State::Idle;
+    bool delivered_ = false;
+    rmm::RecEnterArgs args_;
+    rmm::RecRunResult result_;
+    sim::Notify hostNotify_;
+    /** In-flight wire-delay events, cancelled if we die first. */
+    sim::EventId pendingPost_ = sim::invalidEventId;
+    sim::EventId pendingPublish_ = sim::invalidEventId;
+};
+
+} // namespace cg::core
+
+#endif // CG_CORE_RPC_HH

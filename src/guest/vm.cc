@@ -1,0 +1,16 @@
+#include "guest/vm.hh"
+
+#include "sim/logging.hh"
+
+namespace cg::guest {
+
+Vm::Vm(hw::Machine& machine, VmConfig cfg, sim::DomainId domain)
+    : machine_(machine), cfg_(cfg), domain_(domain)
+{
+    if (cfg_.numVcpus <= 0)
+        sim::fatal("VM '%s' needs at least one vCPU", cfg_.name.c_str());
+    for (int i = 0; i < cfg_.numVcpus; ++i)
+        vcpus_.push_back(std::make_unique<VCpu>(*this, i));
+}
+
+} // namespace cg::guest

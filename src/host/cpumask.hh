@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A CPU affinity mask over up to 64 cores (the machine sizes we model;
+ * fig. 6 tops out at 64 cores).
+ */
+
+#ifndef CG_HOST_CPUMASK_HH
+#define CG_HOST_CPUMASK_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cg::host {
+
+using sim::CoreId;
+
+class CpuMask
+{
+  public:
+    constexpr CpuMask() = default;
+    constexpr explicit CpuMask(std::uint64_t bits) : bits_(bits) {}
+
+    static constexpr CpuMask
+    single(CoreId c)
+    {
+        return CpuMask(1ULL << c);
+    }
+
+    static constexpr CpuMask
+    firstN(int n)
+    {
+        return n >= 64 ? CpuMask(~0ULL) : CpuMask((1ULL << n) - 1);
+    }
+
+    static constexpr CpuMask
+    all()
+    {
+        return CpuMask(~0ULL);
+    }
+
+    constexpr bool
+    test(CoreId c) const
+    {
+        return c >= 0 && c < 64 && (bits_ >> c) & 1;
+    }
+
+    void
+    set(CoreId c)
+    {
+        CG_ASSERT(c >= 0 && c < 64, "core id out of mask range");
+        bits_ |= 1ULL << c;
+    }
+
+    void
+    clear(CoreId c)
+    {
+        CG_ASSERT(c >= 0 && c < 64, "core id out of mask range");
+        bits_ &= ~(1ULL << c);
+    }
+
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr std::uint64_t bits() const { return bits_; }
+
+    constexpr int
+    count() const
+    {
+        return __builtin_popcountll(bits_);
+    }
+
+    constexpr CpuMask
+    operator&(CpuMask o) const
+    {
+        return CpuMask(bits_ & o.bits_);
+    }
+
+    constexpr CpuMask
+    operator|(CpuMask o) const
+    {
+        return CpuMask(bits_ | o.bits_);
+    }
+
+    constexpr bool operator==(const CpuMask&) const = default;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace cg::host
+
+#endif // CG_HOST_CPUMASK_HH

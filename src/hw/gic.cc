@@ -1,0 +1,165 @@
+#include "hw/gic.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace cg::hw {
+
+std::optional<int>
+ListRegFile::findFree() const
+{
+    for (int i = 0; i < numRegs; ++i) {
+        if (!regs_[i].valid())
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::optional<int>
+ListRegFile::findVintid(IntId vintid) const
+{
+    for (int i = 0; i < numRegs; ++i) {
+        if (regs_[i].valid() && regs_[i].vintid == vintid)
+            return i;
+    }
+    return std::nullopt;
+}
+
+bool
+ListRegFile::inject(IntId vintid)
+{
+    if (auto idx = findVintid(vintid)) {
+        ListReg& lr = regs_[*idx];
+        lr.state = lr.state == ListReg::State::Active
+                       ? ListReg::State::PendingActive
+                       : ListReg::State::Pending;
+        return true;
+    }
+    if (auto idx = findFree()) {
+        regs_[*idx] = ListReg{ListReg::State::Pending, vintid};
+        return true;
+    }
+    return false;
+}
+
+int
+ListRegFile::validCount() const
+{
+    int n = 0;
+    for (const auto& r : regs_)
+        n += r.valid() ? 1 : 0;
+    return n;
+}
+
+std::vector<IntId>
+ListRegFile::pendingIds() const
+{
+    std::vector<IntId> out;
+    for (const auto& r : regs_) {
+        if (r.state == ListReg::State::Pending ||
+            r.state == ListReg::State::PendingActive) {
+            out.push_back(r.vintid);
+        }
+    }
+    return out;
+}
+
+void
+ListRegFile::clearAll()
+{
+    regs_.fill(ListReg{});
+}
+
+Gic::Gic(sim::Simulation& sim, const Costs& costs, int num_cores)
+    : sim_(sim), costs_(costs), percore_(static_cast<size_t>(num_cores))
+{
+    CG_ASSERT(num_cores > 0, "GIC needs at least one core");
+}
+
+void
+Gic::setSink(CoreId core, Sink sink)
+{
+    PerCore& pc = percore_.at(core);
+    pc.sink = std::move(sink);
+    while (pc.sink && !pc.pending.empty()) {
+        IntId id = pc.pending.front();
+        pc.pending.pop_front();
+        pc.sink(id);
+    }
+}
+
+void
+Gic::clearSink(CoreId core)
+{
+    percore_.at(core).sink = nullptr;
+}
+
+void
+Gic::deliver(CoreId core, IntId id)
+{
+    PerCore& pc = percore_.at(core);
+    ++delivered_;
+    if (pc.sink)
+        pc.sink(id);
+    else
+        pc.pending.push_back(id);
+}
+
+void
+Gic::sendSgi(CoreId target, IntId sgi)
+{
+    CG_ASSERT(isSgi(sgi), "sendSgi with non-SGI id %d", sgi);
+    const Tick d = sim_.rng().jittered(costs_.sgiDeliver, costs_.jitter);
+    sim_.queue().scheduleIn(d, [this, target, sgi] {
+        deliver(target, sgi);
+    });
+}
+
+void
+Gic::raisePpi(CoreId target, IntId ppi)
+{
+    CG_ASSERT(isPpi(ppi), "raisePpi with non-PPI id %d", ppi);
+    // Private peripherals are local to the core: negligible wire delay.
+    sim_.queue().scheduleIn(0, [this, target, ppi] {
+        deliver(target, ppi);
+    });
+}
+
+void
+Gic::raiseSpi(IntId spi)
+{
+    CG_ASSERT(isSpi(spi), "raiseSpi with non-SPI id %d", spi);
+    const CoreId target = spiRoute(spi);
+    const Tick d = sim_.rng().jittered(costs_.spiDeliver, costs_.jitter);
+    sim_.queue().scheduleIn(d, [this, target, spi] {
+        deliver(target, spi);
+    });
+}
+
+void
+Gic::routeSpi(IntId spi, CoreId target)
+{
+    CG_ASSERT(isSpi(spi), "routeSpi with non-SPI id %d", spi);
+    CG_ASSERT(target >= 0 && target < numCores(), "bad SPI route");
+    spiRoutes_[spi] = target;
+}
+
+CoreId
+Gic::spiRoute(IntId spi) const
+{
+    auto it = spiRoutes_.find(spi);
+    return it == spiRoutes_.end() ? 0 : it->second;
+}
+
+void
+Gic::migrateSpisAway(CoreId core, CoreId fallback)
+{
+    for (auto& [spi, route] : spiRoutes_) {
+        if (route == core)
+            route = fallback;
+    }
+}
+
+} // namespace cg::hw

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A GICv3-like interrupt controller model.
+ *
+ * Supports the three Arm interrupt classes:
+ *  - SGIs (0-15): inter-processor interrupts, sent core-to-core;
+ *  - PPIs (16-31): per-core private peripherals (generic timers);
+ *  - SPIs (32+): shared peripherals (devices), routed by an affinity table.
+ *
+ * Delivery is asynchronous with modelled wire latency. Each core has at
+ * most one "sink" — the software that currently owns the core (host
+ * kernel or security monitor) — which receives delivered interrupt IDs.
+ * Interrupts delivered while a core has no sink (e.g. mid-handover)
+ * stay pending and flush to the next sink installed.
+ *
+ * Each core also has a file of 16 virtual-interrupt list registers
+ * (ich_lr<n>_el2), the mechanism KVM and the RMM use to inject
+ * interrupts into guests; section 4.4 / fig. 5 of the paper is about
+ * who writes these.
+ */
+
+#ifndef CG_HW_GIC_HH
+#define CG_HW_GIC_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hw/costs.hh"
+#include "sim/types.hh"
+
+namespace cg::sim {
+class Simulation;
+}
+
+namespace cg::hw {
+
+using sim::CoreId;
+
+/** Interrupt identifier (INTID). */
+using IntId = int;
+
+constexpr IntId sgiBase = 0;
+constexpr IntId ppiBase = 16;
+constexpr IntId spiBase = 32;
+
+/** Arm architectural PPI assignments we model. */
+constexpr IntId vtimerPpi = 27; ///< EL1 virtual timer
+constexpr IntId ptimerPpi = 30; ///< EL1 physical timer
+
+/** Is @p id a software-generated (inter-processor) interrupt? */
+constexpr bool isSgi(IntId id) { return id >= sgiBase && id < ppiBase; }
+constexpr bool isPpi(IntId id) { return id >= ppiBase && id < spiBase; }
+constexpr bool isSpi(IntId id) { return id >= spiBase; }
+
+/** One virtual-interrupt list register (ich_lr<n>_el2). */
+struct ListReg {
+    enum class State { Invalid, Pending, Active, PendingActive };
+
+    State state = State::Invalid;
+    IntId vintid = 0;
+
+    bool valid() const { return state != State::Invalid; }
+};
+
+/** The per-core file of 16 list registers. */
+class ListRegFile
+{
+  public:
+    static constexpr int numRegs = 16;
+
+    ListReg& reg(int i) { return regs_.at(i); }
+    const ListReg& reg(int i) const { return regs_.at(i); }
+
+    /** Index of a free (invalid) register, or nullopt if full. */
+    std::optional<int> findFree() const;
+
+    /** Index of the register holding @p vintid, or nullopt. */
+    std::optional<int> findVintid(IntId vintid) const;
+
+    /** Mark @p vintid pending, reusing its register if present. */
+    bool inject(IntId vintid);
+
+    /** Number of valid registers. */
+    int validCount() const;
+
+    /** Pending vintids, in register order. */
+    std::vector<IntId> pendingIds() const;
+
+    void clearAll();
+
+  private:
+    std::array<ListReg, numRegs> regs_{};
+};
+
+/** The interrupt controller. */
+class Gic
+{
+  public:
+    /** Callback owning software registers to receive interrupts. */
+    using Sink = std::function<void(IntId)>;
+
+    Gic(sim::Simulation& sim, const Costs& costs, int num_cores);
+
+    int numCores() const { return static_cast<int>(percore_.size()); }
+
+    /**
+     * Install the interrupt sink for @p core (the software that owns
+     * it). Pending interrupts are flushed to the new sink immediately.
+     */
+    void setSink(CoreId core, Sink sink);
+
+    /** Remove the sink; subsequent deliveries stay pending. */
+    void clearSink(CoreId core);
+
+    /** Send an SGI (IPI) to @p target; delivered after wire latency. */
+    void sendSgi(CoreId target, IntId sgi);
+
+    /** Raise a per-core private interrupt (timers). */
+    void raisePpi(CoreId target, IntId ppi);
+
+    /** Raise a shared peripheral interrupt; routed by affinity. */
+    void raiseSpi(IntId spi);
+
+    /** Route @p spi to @p target (irq affinity). */
+    void routeSpi(IntId spi, CoreId target);
+
+    /** Current route of @p spi (default: core 0). */
+    CoreId spiRoute(IntId spi) const;
+
+    /** Re-target all SPIs away from @p core (hotplug offline path). */
+    void migrateSpisAway(CoreId core, CoreId fallback);
+
+    /** List registers of @p core. */
+    ListRegFile& lrs(CoreId core) { return percore_.at(core).lrs; }
+    const ListRegFile& lrs(CoreId core) const
+    {
+        return percore_.at(core).lrs;
+    }
+
+    /** Total interrupts delivered (stat). */
+    std::uint64_t delivered() const { return delivered_; }
+
+  private:
+    struct PerCore {
+        Sink sink;
+        std::deque<IntId> pending;
+        ListRegFile lrs;
+    };
+
+    void deliver(CoreId core, IntId id);
+
+    sim::Simulation& sim_;
+    const Costs& costs_;
+    std::vector<PerCore> percore_;
+    std::map<IntId, CoreId> spiRoutes_;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace cg::hw
+
+#endif // CG_HW_GIC_HH

@@ -1,0 +1,83 @@
+#include "hw/machine.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace cg::hw {
+
+const char*
+worldName(World w)
+{
+    switch (w) {
+      case World::Normal:
+        return "normal";
+      case World::Realm:
+        return "realm";
+      case World::Root:
+        return "root";
+    }
+    return "?";
+}
+
+Core::Core(CoreId id, int numa_node, const Costs& costs)
+    : id_(id), numaNode_(numa_node), uarch_(costs)
+{}
+
+Machine::Machine(sim::Simulation& sim, MachineConfig cfg)
+    : sim_(sim), cfg_(cfg)
+{
+    if (cfg_.numCores <= 0)
+        sim::fatal("machine needs at least one core (got %d)",
+                   cfg_.numCores);
+    if (cfg_.coresPerNumaNode <= 0)
+        sim::fatal("coresPerNumaNode must be positive");
+    cores_.reserve(static_cast<size_t>(cfg_.numCores));
+    for (int i = 0; i < cfg_.numCores; ++i) {
+        cores_.push_back(std::make_unique<Core>(
+            i, i / cfg_.coresPerNumaNode, cfg_.costs));
+    }
+    gic_ = std::make_unique<Gic>(sim_, cfg_.costs, cfg_.numCores);
+    shared_ = std::make_unique<SharedUarch>(cfg_.costs);
+}
+
+Core&
+Machine::core(CoreId id)
+{
+    CG_ASSERT(id >= 0 && id < numCores(), "bad core id %d", id);
+    return *cores_[static_cast<size_t>(id)];
+}
+
+const Core&
+Machine::core(CoreId id) const
+{
+    CG_ASSERT(id >= 0 && id < numCores(), "bad core id %d", id);
+    return *cores_[static_cast<size_t>(id)];
+}
+
+sim::Tick
+Machine::cost(sim::Tick nominal)
+{
+    return sim_.rng().jittered(nominal, cfg_.costs.jitter);
+}
+
+sim::Tick
+Machine::switchWorld(CoreId core_id, World to)
+{
+    Core& c = core(core_id);
+    if (c.world() == to)
+        return 0;
+    // Crossing between normal and realm world transits EL3 and applies
+    // the firmware's transient-execution mitigations.
+    sim::Tick t = cost(cfg_.costs.worldSwitchHalf);
+    const bool boundary =
+        (c.world() == World::Normal && to == World::Realm) ||
+        (c.world() == World::Realm && to == World::Normal);
+    if (boundary) {
+        t += cost(cfg_.costs.mitigationFlush);
+        c.uarch().mitigationFlush();
+    }
+    c.setWorld(to);
+    return t;
+}
+
+} // namespace cg::hw

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The physical machine: cores with worlds and microarchitectural state,
+ * the interrupt controller, shared structures, and the cost model.
+ *
+ * Modelled after the paper's evaluation platform: an AmpereOne-class
+ * Arm server (one hardware thread per core, so "core" == "hardware
+ * thread" throughout; see footnote 1 in the paper) with two NUMA-ish
+ * core clusters.
+ */
+
+#ifndef CG_HW_MACHINE_HH
+#define CG_HW_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "hw/costs.hh"
+#include "hw/gic.hh"
+#include "hw/uarch.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace cg::sim {
+class Simulation;
+}
+
+namespace cg::hw {
+
+using sim::CoreId;
+using sim::DomainId;
+
+/** Arm security state a core currently executes in. */
+enum class World {
+    Normal, ///< host hypervisor / VMM / normal VMs
+    Realm,  ///< the RMM and confidential VMs
+    Root,   ///< EL3 trusted firmware
+};
+
+const char* worldName(World w);
+
+/** One physical CPU core. */
+class Core
+{
+  public:
+    Core(CoreId id, int numa_node, const Costs& costs);
+
+    CoreId id() const { return id_; }
+    int numaNode() const { return numaNode_; }
+
+    World world() const { return world_; }
+    void setWorld(World w) { world_ = w; }
+
+    /** The security domain whose code is (or last was) executing. */
+    DomainId occupant() const { return occupant_; }
+    void setOccupant(DomainId d) { occupant_ = d; }
+
+    CoreUarch& uarch() { return uarch_; }
+    const CoreUarch& uarch() const { return uarch_; }
+
+  private:
+    CoreId id_;
+    int numaNode_;
+    World world_ = World::Normal;
+    DomainId occupant_ = sim::hostDomain;
+    CoreUarch uarch_;
+};
+
+struct MachineConfig {
+    int numCores = 16;
+    int coresPerNumaNode = 64; // AmpereOne: one big monolithic socket
+    Costs costs{};
+};
+
+/** The machine ties cores, GIC, and shared structures together. */
+class Machine
+{
+  public:
+    Machine(sim::Simulation& sim, MachineConfig cfg);
+
+    sim::Simulation& sim() { return sim_; }
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    Core& core(CoreId id);
+    const Core& core(CoreId id) const;
+    Gic& gic() { return *gic_; }
+    SharedUarch& shared() { return *shared_; }
+    const Costs& costs() const { return cfg_.costs; }
+    const MachineConfig& config() const { return cfg_; }
+
+    /** Jitter a nominal cost through the simulation RNG. */
+    sim::Tick cost(sim::Tick nominal);
+
+    /**
+     * World transition on a core, charging the mitigation flush the
+     * firmware applies when crossing a security boundary.
+     * @return the simulated cost the caller must charge.
+     */
+    sim::Tick switchWorld(CoreId core, World to);
+
+  private:
+    sim::Simulation& sim_;
+    MachineConfig cfg_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<Gic> gic_;
+    std::unique_ptr<SharedUarch> shared_;
+};
+
+} // namespace cg::hw
+
+#endif // CG_HW_MACHINE_HH

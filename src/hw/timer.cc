@@ -1,0 +1,58 @@
+#include "hw/timer.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace cg::hw {
+
+Timer::Timer(sim::Simulation& sim, FireFn on_fire)
+    : sim_(sim), onFire_(std::move(on_fire))
+{
+    CG_ASSERT(onFire_, "timer needs a fire callback");
+}
+
+Timer::~Timer()
+{
+    disarm();
+}
+
+void
+Timer::arm(Tick at)
+{
+    disarm();
+    armed_ = true;
+    deadline_ = at;
+    // A compare value in the past fires immediately (next event slot),
+    // matching the generic timer's condition CNT >= CVAL.
+    const Tick when = std::max(at, sim_.now());
+    event_ = sim_.queue().schedule(when, [this] { fire(); });
+}
+
+void
+Timer::armIn(Tick delay)
+{
+    arm(sim_.now() + delay);
+}
+
+void
+Timer::disarm()
+{
+    if (event_ != sim::invalidEventId) {
+        sim_.queue().cancel(event_);
+        event_ = sim::invalidEventId;
+    }
+    armed_ = false;
+}
+
+void
+Timer::fire()
+{
+    event_ = sim::invalidEventId;
+    armed_ = false;
+    ++fires_;
+    onFire_();
+}
+
+} // namespace cg::hw

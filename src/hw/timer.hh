@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A one-shot programmable timer, modelling the Arm generic timer's
+ * compare-value interface (CNT*_CVAL). The counter is the global
+ * simulated clock, so a timer keeps counting while its owner (e.g. a
+ * descheduled vCPU) is not running — as real virtual timers do.
+ */
+
+#ifndef CG_HW_TIMER_HH
+#define CG_HW_TIMER_HH
+
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cg::sim {
+class Simulation;
+}
+
+namespace cg::hw {
+
+using sim::Tick;
+
+class Timer
+{
+  public:
+    using FireFn = std::function<void()>;
+
+    Timer(sim::Simulation& sim, FireFn on_fire);
+    ~Timer();
+
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+    /** Program the compare value: fire at absolute time @p at. */
+    void arm(Tick at);
+
+    /** Program relative to now. */
+    void armIn(Tick delay);
+
+    /** Disable the timer (CNT*_CTL.ENABLE = 0). */
+    void disarm();
+
+    bool armed() const { return armed_; }
+    Tick deadline() const { return deadline_; }
+
+    /** Number of times this timer has fired (stat). */
+    std::uint64_t fireCount() const { return fires_; }
+
+  private:
+    void fire();
+
+    sim::Simulation& sim_;
+    FireFn onFire_;
+    bool armed_ = false;
+    Tick deadline_ = 0;
+    sim::EventId event_ = sim::invalidEventId;
+    std::uint64_t fires_ = 0;
+};
+
+} // namespace cg::hw
+
+#endif // CG_HW_TIMER_HH

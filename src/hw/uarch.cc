@@ -1,0 +1,183 @@
+#include "hw/uarch.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cg::hw {
+
+TaggedStructure::TaggedStructure(std::string name, std::size_t capacity,
+                                 Tick refill_per_entry)
+    : name_(std::move(name)),
+      capacity_(capacity),
+      refillPerEntry_(refill_per_entry)
+{
+    CG_ASSERT(capacity_ > 0, "structure '%s' has zero capacity",
+              name_.c_str());
+}
+
+void
+TaggedStructure::touch(DomainId d, std::size_t entries)
+{
+    const std::size_t target = std::min(entries, capacity_);
+    std::size_t& mine = held_[d];
+    if (target <= mine)
+        return; // working set already resident
+    const std::size_t grow = target - mine;
+    std::size_t others = used_ - mine;
+    mine = target;
+    used_ += grow;
+    if (used_ <= capacity_)
+        return;
+    // Evict the overflow proportionally from other domains. Each
+    // victim's share is computed against the original overflow so the
+    // eviction is fair regardless of map iteration order.
+    const std::size_t total_overflow = used_ - capacity_;
+    std::size_t overflow = total_overflow;
+    CG_ASSERT(others >= overflow, "eviction accounting broken in '%s'",
+              name_.c_str());
+    for (auto& [dom, cnt] : held_) {
+        if (dom == d || cnt == 0 || overflow == 0)
+            continue;
+        // Round to nearest so we track the fair share closely.
+        std::size_t take =
+            std::min(cnt, (cnt * total_overflow + others / 2) / others);
+        take = std::min(take, overflow);
+        cnt -= take;
+        used_ -= take;
+        overflow -= take;
+    }
+    // Rounding may leave a few entries; sweep them up.
+    for (auto& [dom, cnt] : held_) {
+        if (overflow == 0)
+            break;
+        if (dom == d || cnt == 0)
+            continue;
+        const std::size_t take = std::min(cnt, overflow);
+        cnt -= take;
+        used_ -= take;
+        overflow -= take;
+    }
+    CG_ASSERT(used_ <= capacity_, "'%s' overfull after eviction",
+              name_.c_str());
+}
+
+std::size_t
+TaggedStructure::entriesOf(DomainId d) const
+{
+    auto it = held_.find(d);
+    return it == held_.end() ? 0 : it->second;
+}
+
+std::size_t
+TaggedStructure::foreignEntries(DomainId prober) const
+{
+    std::size_t total = 0;
+    for (const auto& [dom, cnt] : held_) {
+        if (dom != prober)
+            total += cnt;
+    }
+    return total;
+}
+
+void
+TaggedStructure::flushAll()
+{
+    held_.clear();
+    used_ = 0;
+}
+
+void
+TaggedStructure::flushDomain(DomainId d)
+{
+    auto it = held_.find(d);
+    if (it == held_.end())
+        return;
+    used_ -= it->second;
+    held_.erase(it);
+}
+
+Tick
+TaggedStructure::warmupCost(DomainId d, std::size_t footprint) const
+{
+    const std::size_t want = std::min(footprint, capacity_);
+    const std::size_t have = entriesOf(d);
+    if (have >= want)
+        return 0;
+    return static_cast<Tick>(want - have) * refillPerEntry_;
+}
+
+namespace {
+
+// Typical Arm server core (Neoverse-class) structure sizes, in entries.
+constexpr std::size_t l1iEntries = 64 * 1024 / 64;   // 64 KiB / line
+constexpr std::size_t l1dEntries = 64 * 1024 / 64;   // 64 KiB / line
+constexpr std::size_t l2Entries = 1024 * 1024 / 64;  // 1 MiB / line
+constexpr std::size_t tlbEntries = 1280;             // unified L2 TLB
+constexpr std::size_t btbEntries = 8192;
+constexpr std::size_t sbEntries = 56;                // store buffer slots
+constexpr std::size_t llcEntries = 32 * 1024 * 1024 / 64; // 32 MiB SLC
+constexpr std::size_t stagingEntries = 16;
+
+} // namespace
+
+CoreUarch::CoreUarch(const Costs& costs)
+    : l1i("l1i", l1iEntries, costs.l1RefillPerEntry),
+      l1d("l1d", l1dEntries, costs.l1RefillPerEntry),
+      l2("l2", l2Entries, costs.l2RefillPerEntry),
+      tlb("tlb", tlbEntries, costs.tlbRefillPerEntry),
+      btb("btb", btbEntries, costs.btbRefillPerEntry),
+      storeBuffer("store-buffer", sbEntries, costs.l1RefillPerEntry)
+{}
+
+std::vector<TaggedStructure*>
+CoreUarch::all()
+{
+    return {&l1i, &l1d, &l2, &tlb, &btb, &storeBuffer};
+}
+
+std::vector<const TaggedStructure*>
+CoreUarch::all() const
+{
+    return {&l1i, &l1d, &l2, &tlb, &btb, &storeBuffer};
+}
+
+void
+CoreUarch::mitigationFlush()
+{
+    btb.flushAll();
+    storeBuffer.flushAll();
+}
+
+void
+CoreUarch::run(DomainId d, std::size_t footprint)
+{
+    // Instruction-side structures see a fraction of the data footprint;
+    // the TLB sees pages (footprint is expressed in cache lines).
+    l1d.touch(d, footprint);
+    l1i.touch(d, std::max<std::size_t>(1, footprint / 4));
+    l2.touch(d, footprint);
+    tlb.touch(d, std::max<std::size_t>(1, footprint / 64));
+    btb.touch(d, std::max<std::size_t>(1, footprint / 2));
+    storeBuffer.touch(d, sbEntries);
+}
+
+Tick
+CoreUarch::warmupCost(DomainId d, std::size_t footprint) const
+{
+    Tick total = 0;
+    total += l1d.warmupCost(d, footprint);
+    total += l1i.warmupCost(d, std::max<std::size_t>(1, footprint / 4));
+    total += l2.warmupCost(d, footprint) / 4; // L2 misses overlap more
+    total += tlb.warmupCost(d, std::max<std::size_t>(1, footprint / 64));
+    total += btb.warmupCost(d, std::max<std::size_t>(1, footprint / 2));
+    return total;
+}
+
+SharedUarch::SharedUarch(const Costs& costs)
+    : llc("llc", llcEntries, costs.l2RefillPerEntry),
+      stagingBuffer("staging-buffer", stagingEntries,
+                    costs.l1RefillPerEntry)
+{}
+
+} // namespace cg::hw

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Microarchitectural state with security-domain tagging.
+ *
+ * Each structure (cache, TLB, branch predictor, buffers) tracks how many
+ * of its entries are held by each security domain. This serves two
+ * purposes:
+ *
+ *  1. Performance: when a domain resumes on a core whose structures were
+ *     polluted by another domain, it pays a warm-up cost proportional to
+ *     the entries it lost (the locality effect core gapping exploits).
+ *
+ *  2. Security: a prober can count entries tagged with foreign domains.
+ *     Observing a victim's entries without an intervening flush models a
+ *     same-core side channel / transient-execution leak. The attack suite
+ *     (src/attacks) asserts that core gapping reduces the observable
+ *     foreign state of confidential VMs to zero on per-core structures,
+ *     while shared structures (LLC, CrossTalk staging buffer) retain
+ *     residue, matching the paper's threat model (section 2.4).
+ */
+
+#ifndef CG_HW_UARCH_HH
+#define CG_HW_UARCH_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/costs.hh"
+#include "sim/types.hh"
+
+namespace cg::hw {
+
+using sim::DomainId;
+using sim::Tick;
+
+/** One tagged microarchitectural structure (cache / TLB / predictor). */
+class TaggedStructure
+{
+  public:
+    TaggedStructure(std::string name, std::size_t capacity,
+                    Tick refill_per_entry);
+
+    const std::string& name() const { return name_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t used() const { return used_; }
+
+    /**
+     * Domain @p d references a working set of @p entries entries.
+     * Grows d's share toward min(entries, capacity); on overflow, other
+     * domains' entries are evicted proportionally (LRU approximation).
+     */
+    void touch(DomainId d, std::size_t entries);
+
+    /** Entries currently held by @p d. */
+    std::size_t entriesOf(DomainId d) const;
+
+    /** Entries held by domains other than @p prober (leakable state). */
+    std::size_t foreignEntries(DomainId prober) const;
+
+    /** Entries held by @p victim specifically, as seen by a prober. */
+    std::size_t victimEntries(DomainId victim) const
+    {
+        return entriesOf(victim);
+    }
+
+    /** Invalidate everything (mitigation flush / reset). */
+    void flushAll();
+
+    /** Invalidate only @p d's entries (targeted scrub). */
+    void flushDomain(DomainId d);
+
+    /**
+     * Warm-up cost for @p d resuming with working set @p footprint:
+     * (missing entries) x (refill cost per entry).
+     */
+    Tick warmupCost(DomainId d, std::size_t footprint) const;
+
+  private:
+    std::string name_;
+    std::size_t capacity_;
+    Tick refillPerEntry_;
+    std::size_t used_ = 0;
+    std::map<DomainId, std::size_t> held_;
+};
+
+/** Per-core private microarchitectural state. */
+class CoreUarch
+{
+  public:
+    explicit CoreUarch(const Costs& costs);
+
+    TaggedStructure l1i;
+    TaggedStructure l1d;
+    TaggedStructure l2;
+    TaggedStructure tlb;
+    TaggedStructure btb;         ///< branch predictor / BTB / BHB
+    TaggedStructure storeBuffer; ///< store/fill buffers (MDS class)
+
+    /** All per-core structures, for iteration. */
+    std::vector<TaggedStructure*> all();
+    std::vector<const TaggedStructure*> all() const;
+
+    /**
+     * The subset of state that firmware mitigations actually flush on a
+     * security-boundary transition (predictor + buffers). Caches and
+     * TLBs are NOT flushed, modelling the residual leakage that
+     * motivates core gapping.
+     */
+    void mitigationFlush();
+
+    /** Touch all structures for a domain executing with a working set. */
+    void run(DomainId d, std::size_t footprint);
+
+    /** Total warm-up cost for @p d across all structures. */
+    Tick warmupCost(DomainId d, std::size_t footprint) const;
+};
+
+/** Structures shared between cores (out of core gapping's scope). */
+class SharedUarch
+{
+  public:
+    explicit SharedUarch(const Costs& costs);
+
+    TaggedStructure llc;
+    /**
+     * The CPUID/RDRAND staging buffer exploited by CrossTalk, shared by
+     * all cores: the one disclosed cross-core transient-execution leak
+     * (fig. 3). Core gapping does not protect it; the attack suite
+     * verifies this residual channel remains, as the paper concedes.
+     */
+    TaggedStructure stagingBuffer;
+};
+
+} // namespace cg::hw
+
+#endif // CG_HW_UARCH_HH

@@ -1,0 +1,33 @@
+#include "rmm/exit.hh"
+
+namespace cg::rmm {
+
+const char*
+exitReasonName(ExitReason r)
+{
+    switch (r) {
+      case ExitReason::None:
+        return "none";
+      case ExitReason::TimerIrq:
+        return "timer-irq";
+      case ExitReason::TimerWrite:
+        return "timer-write";
+      case ExitReason::SgiWrite:
+        return "sgi-write";
+      case ExitReason::Wfi:
+        return "wfi";
+      case ExitReason::Mmio:
+        return "mmio";
+      case ExitReason::PageFault:
+        return "page-fault";
+      case ExitReason::Hypercall:
+        return "hypercall";
+      case ExitReason::HostKick:
+        return "host-kick";
+      case ExitReason::Shutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
+} // namespace cg::rmm

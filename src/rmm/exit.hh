@@ -1,0 +1,63 @@
+/**
+ * @file
+ * VM exit information: the reason a running vCPU (REC) stopped
+ * executing guest code, plus the payload the handler needs. This is the
+ * data the RMM copies into shared memory for the host — locally on a
+ * shared core in baseline CCA, or across cores in the core-gapped
+ * design (section 3, change 2).
+ */
+
+#ifndef CG_RMM_EXIT_HH
+#define CG_RMM_EXIT_HH
+
+#include <cstdint>
+
+namespace cg::rmm {
+
+enum class ExitReason {
+    None,
+    /** The guest's virtual timer fired (physical IRQ to the monitor). */
+    TimerIrq,
+    /** Guest wrote CNTV_CTL/CNTV_CVAL (trapped register access). */
+    TimerWrite,
+    /** Guest wrote ICC_SGI1R: wants to send a virtual IPI. */
+    SgiWrite,
+    /** Guest executed WFI with no pending virtual interrupt. */
+    Wfi,
+    /** Guest accessed emulated MMIO (device emulation needed). */
+    Mmio,
+    /** Stage-2 translation fault: the host must map memory. */
+    PageFault,
+    /** PSCI or other hypercall. */
+    Hypercall,
+    /** The host asked for an exit (kick IPI), e.g. to inject an IRQ. */
+    HostKick,
+    /** The guest shut down (PSCI SYSTEM_OFF). */
+    Shutdown,
+};
+
+const char* exitReasonName(ExitReason r);
+
+struct ExitInfo {
+    ExitReason reason = ExitReason::None;
+    std::uint64_t addr = 0;  ///< Mmio: GPA; PageFault: faulting IPA
+    std::uint64_t data = 0;  ///< Mmio write: value; TimerWrite: deadline
+    int len = 0;             ///< Mmio: access size in bytes
+    bool isWrite = false;    ///< Mmio: direction
+    int target = -1;         ///< SgiWrite: destination vCPU index
+    std::uint64_t code = 0;  ///< Hypercall: function id
+
+    /** Is this exit caused by interrupt management (paper table 4)? */
+    bool
+    interruptRelated() const
+    {
+        return reason == ExitReason::TimerIrq ||
+               reason == ExitReason::TimerWrite ||
+               reason == ExitReason::SgiWrite ||
+               reason == ExitReason::HostKick;
+    }
+};
+
+} // namespace cg::rmm
+
+#endif // CG_RMM_EXIT_HH

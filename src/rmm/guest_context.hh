@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The interface through which the security monitor (or, for
+ * non-confidential VMs, the hypervisor directly) executes guest vCPU
+ * code. Implemented by guest::VCpu; declared here so the RMM does not
+ * depend on the guest model.
+ */
+
+#ifndef CG_RMM_GUEST_CONTEXT_HH
+#define CG_RMM_GUEST_CONTEXT_HH
+
+#include "hw/gic.hh"
+#include "rmm/exit.hh"
+#include "rmm/measurement.hh"
+#include "sim/proc.hh"
+#include "sim/types.hh"
+
+namespace cg::rmm {
+
+/** Hypercall function id for RSI_ATTESTATION_TOKEN (simplified). */
+constexpr std::uint64_t rsiAttestCall = 0xC4000194ull;
+
+class GuestContext
+{
+  public:
+    virtual ~GuestContext() = default;
+
+    /**
+     * Execute guest code on @p core until the next exit-worthy event
+     * (trap, interrupt, WFI, host kick). May complete immediately if an
+     * event is already pending.
+     */
+    virtual sim::Proc<ExitInfo> runUntilExit(sim::CoreId core) = 0;
+
+    /**
+     * Inject a virtual interrupt through a list register.
+     * @return false if all list registers are occupied.
+     */
+    virtual bool injectVirq(hw::IntId vintid) = 0;
+
+    /** Force the current runUntilExit to complete with @p reason. */
+    virtual void forceExit(ExitReason reason) = 0;
+
+    /** Deliver the completion value of a pending emulated MMIO read. */
+    virtual void completeMmio(std::uint64_t data) = 0;
+
+    /**
+     * Deliver the result of an RSI attestation call. RSI calls are
+     * serviced entirely inside the monitor (never exposed to the
+     * host), so this completes before the trap retires.
+     */
+    virtual void completeAttest(const AttestationToken& token)
+    {
+        (void)token;
+    }
+
+    /** True while the vCPU is entered (guest code can make progress). */
+    virtual bool entered() const = 0;
+
+    /** The vCPU's list registers (the *true* list of fig. 5). */
+    virtual hw::ListRegFile& listRegs() = 0;
+};
+
+} // namespace cg::rmm
+
+#endif // CG_RMM_GUEST_CONTEXT_HH

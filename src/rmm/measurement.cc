@@ -1,0 +1,77 @@
+#include "rmm/measurement.hh"
+
+#include "sim/logging.hh"
+
+namespace cg::rmm {
+
+Digest
+digestExtend(Digest d, std::uint64_t v)
+{
+    constexpr Digest prime = 0x100000001b3ULL;
+    for (int i = 0; i < 8; ++i) {
+        d ^= (v >> (i * 8)) & 0xff;
+        d *= prime;
+    }
+    return d;
+}
+
+Digest
+digestOf(const std::string& data)
+{
+    Digest d = digestInit;
+    constexpr Digest prime = 0x100000001b3ULL;
+    for (unsigned char c : data) {
+        d ^= c;
+        d *= prime;
+    }
+    return d;
+}
+
+void
+Measurement::extendRim(std::uint64_t v)
+{
+    rim_ = digestExtend(rim_, v);
+}
+
+void
+Measurement::extendRem(int index, std::uint64_t v)
+{
+    CG_ASSERT(index >= 0 && index < 4, "bad REM index %d", index);
+    rem_[static_cast<size_t>(index)] =
+        digestExtend(rem_[static_cast<size_t>(index)], v);
+}
+
+Digest
+AttestationAuthority::sign(const AttestationToken& t) const
+{
+    Digest d = digestExtend(digestInit, secret_);
+    d = digestExtend(d, t.rim);
+    for (Digest r : t.rem)
+        d = digestExtend(d, r);
+    d = digestExtend(d, t.challenge);
+    d = digestExtend(d, t.platformKeyId);
+    return d;
+}
+
+AttestationToken
+AttestationAuthority::issue(const Measurement& m,
+                            std::uint64_t challenge) const
+{
+    AttestationToken t;
+    t.rim = m.rim();
+    for (int i = 0; i < 4; ++i)
+        t.rem[static_cast<size_t>(i)] = m.rem(i);
+    t.challenge = challenge;
+    t.platformKeyId = digestExtend(digestInit, secret_);
+    t.signature = sign(t);
+    return t;
+}
+
+bool
+AttestationAuthority::verify(const AttestationToken& t,
+                             std::uint64_t challenge) const
+{
+    return t.challenge == challenge && t.signature == sign(t);
+}
+
+} // namespace cg::rmm

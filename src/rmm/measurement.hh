@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Realm measurement and attestation, modelling the RMM's RIM/REM
+ * registers and CCA attestation tokens.
+ *
+ * A realm's initial measurement (RIM) is extended with every
+ * configuration step and data granule populated before activation;
+ * runtime extensible measurements (REM) can be extended by the guest.
+ * Attestation tokens bind the measurements to a platform key. We use a
+ * 64-bit FNV-1a construction instead of SHA-512 — the simulator needs
+ * collision resistance against accidents, not adversaries.
+ */
+
+#ifndef CG_RMM_MEASUREMENT_HH
+#define CG_RMM_MEASUREMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cg::rmm {
+
+/** A measurement value (stand-in for a SHA-512 digest). */
+using Digest = std::uint64_t;
+
+/** FNV-1a step: extend @p d with @p v. */
+Digest digestExtend(Digest d, std::uint64_t v);
+
+/** Hash a byte string into a digest. */
+Digest digestOf(const std::string& data);
+
+constexpr Digest digestInit = 0xcbf29ce484222325ULL;
+
+/** The measurement state of one realm. */
+class Measurement
+{
+  public:
+    /** Extend the initial measurement (pre-activation only). */
+    void extendRim(std::uint64_t v);
+
+    /** Extend a runtime measurement register (0..3). */
+    void extendRem(int index, std::uint64_t v);
+
+    Digest rim() const { return rim_; }
+    Digest rem(int index) const { return rem_.at(index); }
+
+  private:
+    Digest rim_ = digestInit;
+    std::array<Digest, 4> rem_{digestInit, digestInit, digestInit,
+                               digestInit};
+};
+
+/** An attestation token signed (notionally) by the platform key. */
+struct AttestationToken {
+    Digest rim;
+    std::array<Digest, 4> rem;
+    std::uint64_t challenge;
+    Digest platformKeyId;
+    Digest signature;
+};
+
+/** The platform's (simulated) attestation signing identity. */
+class AttestationAuthority
+{
+  public:
+    explicit AttestationAuthority(std::uint64_t platform_secret)
+        : secret_(platform_secret)
+    {}
+
+    /** Produce a token over @p m for a verifier-chosen @p challenge. */
+    AttestationToken issue(const Measurement& m,
+                           std::uint64_t challenge) const;
+
+    /** Verify a token's signature and challenge binding. */
+    bool verify(const AttestationToken& t,
+                std::uint64_t challenge) const;
+
+  private:
+    Digest sign(const AttestationToken& t) const;
+
+    std::uint64_t secret_;
+};
+
+} // namespace cg::rmm
+
+#endif // CG_RMM_MEASUREMENT_HH

@@ -1,0 +1,110 @@
+#include "rmm/rtt.hh"
+
+namespace cg::rmm {
+
+Rtt::Rtt() = default;
+
+const Rtt::Node*
+Rtt::walk(Ipa ipa, int to_level) const
+{
+    const Node* n = &root_;
+    for (int level = rttStartLevel; level < to_level; ++level) {
+        auto it = n->children.find(rttIndex(ipa, level));
+        if (it == n->children.end())
+            return nullptr;
+        n = it->second.get();
+    }
+    return n;
+}
+
+Rtt::Node*
+Rtt::walk(Ipa ipa, int to_level)
+{
+    return const_cast<Node*>(
+        static_cast<const Rtt*>(this)->walk(ipa, to_level));
+}
+
+RmiStatus
+Rtt::createTable(Ipa ipa, int level, PhysAddr table_granule)
+{
+    if (level <= rttStartLevel || level > rttLeafLevel)
+        return RmiStatus::BadArgs;
+    if (!granuleAligned(table_granule))
+        return RmiStatus::BadAddress;
+    Node* parent = walk(ipa, level - 1);
+    if (!parent)
+        return RmiStatus::NoMemory;
+    const std::uint64_t idx = rttIndex(ipa, level - 1);
+    if (parent->children.count(idx))
+        return RmiStatus::BadState;
+    auto node = std::make_unique<Node>();
+    node->granule = table_granule;
+    parent->children[idx] = std::move(node);
+    ++tables_;
+    return RmiStatus::Success;
+}
+
+RmiStatus
+Rtt::mapPage(Ipa ipa, PhysAddr pa)
+{
+    if (!granuleAligned(pa))
+        return RmiStatus::BadAddress;
+    Node* leaf_table = walk(ipa, rttLeafLevel);
+    if (!leaf_table)
+        return RmiStatus::NoMemory;
+    const std::uint64_t idx = rttIndex(ipa, rttLeafLevel);
+    if (leaf_table->leaves.count(idx))
+        return RmiStatus::BadState;
+    leaf_table->leaves[idx] = pa;
+    ++mapped_;
+    return RmiStatus::Success;
+}
+
+RmiStatus
+Rtt::unmapPage(Ipa ipa)
+{
+    Node* leaf_table = walk(ipa, rttLeafLevel);
+    if (!leaf_table)
+        return RmiStatus::NoMemory;
+    auto it = leaf_table->leaves.find(rttIndex(ipa, rttLeafLevel));
+    if (it == leaf_table->leaves.end())
+        return RmiStatus::BadState;
+    leaf_table->leaves.erase(it);
+    --mapped_;
+    return RmiStatus::Success;
+}
+
+std::optional<PhysAddr>
+Rtt::translate(Ipa ipa) const
+{
+    const Node* leaf_table = walk(ipa, rttLeafLevel);
+    if (!leaf_table)
+        return std::nullopt;
+    auto it = leaf_table->leaves.find(rttIndex(ipa, rttLeafLevel));
+    if (it == leaf_table->leaves.end())
+        return std::nullopt;
+    return it->second | (ipa & (granuleSize - 1));
+}
+
+bool
+Rtt::tablesComplete(Ipa ipa) const
+{
+    return walk(ipa, rttLeafLevel) != nullptr;
+}
+
+int
+Rtt::walkLevel(Ipa ipa) const
+{
+    const Node* n = &root_;
+    for (int level = rttStartLevel; level < rttLeafLevel; ++level) {
+        auto it = n->children.find(rttIndex(ipa, level));
+        if (it == n->children.end())
+            return level + 1;
+        n = it->second.get();
+    }
+    if (n->leaves.count(rttIndex(ipa, rttLeafLevel)))
+        return rttLeafLevel + 1;
+    return rttLeafLevel;
+}
+
+} // namespace cg::rmm

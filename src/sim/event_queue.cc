@@ -1,0 +1,87 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cg::sim {
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    CG_ASSERT(when >= now_, "scheduling into the past: %llu < %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    ++live_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
+{
+    CG_ASSERT(delay <= maxTick - now_, "tick overflow");
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == invalidEventId)
+        return false;
+    // We cannot remove from the heap cheaply; mark and skip on pop.
+    // Only mark if the id is plausibly pending.
+    if (id >= nextId_)
+        return false;
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted && live_ > 0) {
+        --live_;
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = std::move(const_cast<Entry&>(heap_.top()));
+        heap_.pop();
+        auto it = cancelled_.find(e.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        CG_ASSERT(e.when >= now_, "event queue time went backwards");
+        now_ = e.when;
+        --live_;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty()) {
+        const Entry& top = heap_.top();
+        if (cancelled_.count(top.id)) {
+            cancelled_.erase(top.id);
+            heap_.pop();
+            continue;
+        }
+        if (top.when > limit) {
+            now_ = limit;
+            return now_;
+        }
+        step();
+    }
+    if (limit != maxTick && limit > now_)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace cg::sim

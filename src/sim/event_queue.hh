@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The discrete-event heart of the simulator.
+ *
+ * Events are closures scheduled at an absolute Tick. Scheduling returns an
+ * EventId that can later be cancelled (lazy deletion: cancelled entries are
+ * skipped when popped). Ties are broken by insertion order, which together
+ * with the deterministic Rng gives bit-identical replays.
+ */
+
+#ifndef CG_SIM_EVENT_QUEUE_HH
+#define CG_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cg::sim {
+
+/** Handle to a scheduled event; 0 is "no event". */
+using EventId = std::uint64_t;
+
+constexpr EventId invalidEventId = 0;
+
+/** Priority queue of timed callbacks with cancellation. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn after a delay relative to now. */
+    EventId scheduleIn(Tick delay, std::function<void()> fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t pending() const { return live_; }
+
+    /**
+     * Execute events in time order until the queue drains or @p limit
+     * is reached (events at exactly @p limit still run).
+     * @return the final simulated time.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Execute a single event if one exists. @return false if empty. */
+    bool step();
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry& o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::size_t live_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting and diagnostic helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * - panic():  an internal simulator invariant was violated (a bug in this
+ *             code base); aborts.
+ * - fatal():  the simulation cannot continue due to a user error (bad
+ *             configuration, impossible topology); throws FatalError so
+ *             library users and tests can catch it.
+ * - warn()/inform(): diagnostics on stderr, never stop the simulation.
+ */
+
+#ifndef CG_SIM_LOGGING_HH
+#define CG_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace cg::sim {
+
+/** Exception thrown by fatal(): a user (configuration) error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message: an internal simulator bug. */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Throw FatalError: the user's configuration is unusable. */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr and continue. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr and continue. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant with a formatted explanation.
+ * Active in all build types (simulation correctness depends on it).
+ */
+#define CG_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::cg::sim::panic("assertion '%s' failed at %s:%d: %s", #cond, \
+                             __FILE__, __LINE__,                          \
+                             ::cg::sim::strFormat(__VA_ARGS__).c_str());  \
+        }                                                                 \
+    } while (0)
+
+} // namespace cg::sim
+
+#endif // CG_SIM_LOGGING_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * We implement xoshiro256++ (Blackman & Vigna) rather than relying on
+ * std::mt19937 so that simulation results are bit-identical across
+ * standard-library implementations. All randomness in a Simulation flows
+ * from one seeded Rng; identical seeds therefore give identical runs
+ * (invariant I9 in DESIGN.md).
+ */
+
+#ifndef CG_SIM_RNG_HH
+#define CG_SIM_RNG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cg::sim {
+
+/** xoshiro256++ PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed0c0de) { reseed(seed); }
+
+    /** Re-initialise the state from a 64-bit seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential deviate with the given mean. */
+    double exponential(double mean);
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * A simulated duration jittered around a nominal value.
+     *
+     * Returns max(0, normal(nominal, rel_sd * nominal)) as a Tick. Used by
+     * cost models to produce realistic +/- spreads deterministically.
+     */
+    Tick jittered(Tick nominal, double rel_sd);
+
+    /** Derive an independent child generator (for per-component streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_RNG_HH

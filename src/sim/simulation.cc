@@ -1,0 +1,46 @@
+#include "sim/simulation.hh"
+
+#include <utility>
+
+namespace cg::sim {
+
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed), freeDisp_(queue_)
+{}
+
+Simulation::~Simulation()
+{
+    // Kill processes in reverse spawn order so higher-level processes
+    // (which may reference lower-level ones from coroutine locals) are
+    // destroyed first.
+    for (auto it = processes_.rbegin(); it != processes_.rend(); ++it)
+        (*it)->kill();
+}
+
+Process&
+Simulation::spawn(std::string name, Proc<void> body)
+{
+    return spawnOn(std::move(name), freeDisp_, std::move(body));
+}
+
+Process&
+Simulation::spawnOn(std::string name, Dispatcher& disp, Proc<void> body,
+                    bool auto_start)
+{
+    auto proc = std::unique_ptr<Process>(
+        new Process(*this, disp, std::move(name), std::move(body)));
+    Process& ref = *proc;
+    processes_.push_back(std::move(proc));
+    // Initial resume goes through the dispatcher like any wake.
+    if (auto_start)
+        disp.wake(ref);
+    return ref;
+}
+
+Tick
+Simulation::run(Tick limit)
+{
+    return queue_.run(limit);
+}
+
+} // namespace cg::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Simulation: owns the event queue, the root RNG, and all spawned
+ * processes. One Simulation corresponds to one experiment run.
+ */
+
+#ifndef CG_SIM_SIMULATION_HH
+#define CG_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/proc.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace cg::sim {
+
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 0xc0de5eed);
+    ~Simulation();
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    EventQueue& queue() { return queue_; }
+    Tick now() const { return queue_.now(); }
+    Rng& rng() { return rng_; }
+    FreeDispatcher& freeDispatcher() { return freeDisp_; }
+
+    /** Spawn a free-running process (hardware, firmware, fabric). */
+    Process& spawn(std::string name, Proc<void> body);
+
+    /**
+     * Spawn a process under a specific dispatcher. With
+     * @p auto_start false, the dispatcher's wake() is not called; the
+     * caller must arrange the first wake (used by dispatchers that need
+     * to attach bookkeeping to the process before it first runs).
+     */
+    Process& spawnOn(std::string name, Dispatcher& disp, Proc<void> body,
+                     bool auto_start = true);
+
+    /** Run the event loop until drained or @p limit reached. */
+    Tick run(Tick limit = maxTick);
+
+    /** Advance simulated time by @p amount (runs due events). */
+    Tick runFor(Tick amount) { return run(now() + amount); }
+
+    /** All processes ever spawned (including completed ones). */
+    const std::vector<std::unique_ptr<Process>>& processes() const
+    {
+        return processes_;
+    }
+
+  private:
+    EventQueue queue_;
+    Rng rng_;
+    FreeDispatcher freeDisp_;
+    std::vector<std::unique_ptr<Process>> processes_;
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_SIMULATION_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics package: counters, accumulators (mean/stddev),
+ * and sample histograms with percentile queries.
+ *
+ * Benchmarks reproduce the paper's tables from these objects; they are
+ * intentionally simple value types that components embed directly.
+ */
+
+#ifndef CG_SIM_STATS_HH
+#define CG_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cg::sim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Online mean / standard deviation (Welford's algorithm). */
+class Accumulator
+{
+  public:
+    void sample(double x);
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Sample-retaining distribution for percentile queries.
+ *
+ * Keeps every sample (simulations here produce at most a few million);
+ * percentile() sorts lazily on first query after new samples.
+ */
+class Distribution
+{
+  public:
+    void sample(double x);
+    void reset();
+
+    std::uint64_t count() const { return samples_.size(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+/** Convenience: record Tick latencies, report in ns/us. */
+class LatencyStat
+{
+  public:
+    void sample(Tick t);
+    void reset();
+
+    std::uint64_t count() const { return dist_.count(); }
+    double meanNs() const { return dist_.mean() / 1e3; }
+    double meanUs() const { return dist_.mean() / 1e6; }
+    double p50Us() const { return dist_.percentile(50) / 1e6; }
+    double p95Us() const { return dist_.percentile(95) / 1e6; }
+    double p99Us() const { return dist_.percentile(99) / 1e6; }
+    double maxUs() const { return dist_.max() / 1e6; }
+    const Distribution& dist() const { return dist_; }
+
+  private:
+    Distribution dist_; // samples stored in picoseconds
+};
+
+/** Format helper: "12345.6" with the given precision. */
+std::string fmtDouble(double v, int precision = 1);
+
+} // namespace cg::sim
+
+#endif // CG_SIM_STATS_HH

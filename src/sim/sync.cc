@@ -1,0 +1,83 @@
+#include "sim/sync.hh"
+
+#include <algorithm>
+
+namespace cg::sim {
+
+Notify::~Notify()
+{
+    for (Process* p : waiters_)
+        p->setWaitingOn(nullptr);
+}
+
+bool
+Notify::notifyOne()
+{
+    if (waiters_.empty())
+        return false;
+    Process* p = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    p->setWaitingOn(nullptr);
+    p->wake();
+    return true;
+}
+
+std::size_t
+Notify::notifyAll()
+{
+    std::vector<Process*> taken;
+    taken.swap(waiters_);
+    for (Process* p : taken) {
+        p->setWaitingOn(nullptr);
+        p->wake();
+    }
+    return taken.size();
+}
+
+void
+Notify::unlink(Process& p)
+{
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &p),
+                   waiters_.end());
+}
+
+void
+Gate::open()
+{
+    open_ = true;
+    notify_.notifyAll();
+}
+
+Proc<void>
+Gate::wait()
+{
+    while (!open_)
+        co_await notify_.wait();
+}
+
+Proc<void>
+join(Process& p)
+{
+    while (!p.done())
+        co_await p.doneNotify().wait();
+}
+
+Proc<void>
+Semaphore::acquire()
+{
+    while (count_ == 0)
+        co_await notify_.wait();
+    --count_;
+}
+
+void
+Semaphore::release(std::uint64_t n)
+{
+    count_ += n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!notify_.notifyOne())
+            break;
+    }
+}
+
+} // namespace cg::sim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Synchronisation primitives for simulated processes.
+ *
+ * Everything is built on Notify, an edge-triggered wait queue: wait()
+ * always suspends until the next notifyOne()/notifyAll(). Higher-level
+ * primitives (Gate, Channel, Semaphore) implement the classic
+ * condition-variable loop over it, so spurious wakeups are harmless and
+ * processes can be killed while waiting.
+ */
+
+#ifndef CG_SIM_SYNC_HH
+#define CG_SIM_SYNC_HH
+
+#include <coroutine>
+#include <deque>
+#include <vector>
+
+#include "sim/proc.hh"
+
+namespace cg::sim {
+
+/** Base for anything a Process can block on; supports kill-time unlink. */
+class Waitable
+{
+  public:
+    virtual ~Waitable() = default;
+
+    /** Remove @p p from this wait queue (process is being killed). */
+    virtual void unlink(Process& p) = 0;
+};
+
+/** Edge-triggered wait queue (the one true primitive). */
+class Notify : public Waitable
+{
+  public:
+    /**
+     * Waiters may legitimately outlive the primitive (e.g. a process
+     * blocked on a component that is being torn down): detach them so
+     * their later kill/finish never touches freed memory.
+     */
+    ~Notify() override;
+    /** Awaitable: suspends the process until the next notify. */
+    struct WaitAwaiter {
+        Notify& notify;
+
+        bool await_ready() const { return false; }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            Process& proc = detail::processOf(h);
+            proc.suspendAt(h);
+            proc.setWaitingOn(&notify);
+            notify.waiters_.push_back(&proc);
+            proc.dispatcher().blocked(proc);
+        }
+
+        void await_resume() const {}
+    };
+
+    /** Suspend until the next notifyOne()/notifyAll(). */
+    WaitAwaiter wait() { return WaitAwaiter{*this}; }
+
+    /** Wake the longest-waiting process, if any. @return true if woken. */
+    bool notifyOne();
+
+    /** Wake every waiting process. @return number woken. */
+    std::size_t notifyAll();
+
+    /** Number of processes currently waiting. */
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+    void unlink(Process& p) override;
+
+  private:
+    std::vector<Process*> waiters_;
+};
+
+/**
+ * Level-triggered gate: wait() returns immediately while open.
+ * open() releases all current and future waiters until reset().
+ */
+class Gate
+{
+  public:
+    bool isOpen() const { return open_; }
+    void open();
+    void reset() { open_ = false; }
+
+    /** Suspend until the gate is open (returns at once if it is). */
+    Proc<void> wait();
+
+  private:
+    bool open_ = false;
+    Notify notify_;
+};
+
+/** Unbounded MPMC queue of T with blocking receive. */
+template <typename T>
+class Channel
+{
+  public:
+    /** Enqueue a value and wake one receiver. */
+    void
+    send(T v)
+    {
+        queue_.push_back(std::move(v));
+        notify_.notifyOne();
+    }
+
+    /** Dequeue, suspending while the channel is empty. */
+    Proc<T>
+    recv()
+    {
+        while (queue_.empty())
+            co_await notify_.wait();
+        T v = std::move(queue_.front());
+        queue_.pop_front();
+        co_return v;
+    }
+
+    /** Non-blocking receive. @return true and fills @p out if available. */
+    bool
+    tryRecv(T& out)
+    {
+        if (queue_.empty())
+            return false;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        return true;
+    }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+  private:
+    std::deque<T> queue_;
+    Notify notify_;
+};
+
+/** Suspend until @p p completes (returns at once if it already has). */
+Proc<void> join(Process& p);
+
+/** Counting semaphore. */
+class Semaphore
+{
+  public:
+    explicit Semaphore(std::uint64_t initial = 0) : count_(initial) {}
+
+    /** Decrement, suspending while the count is zero. */
+    Proc<void> acquire();
+
+    /** Increment and wake one waiter. */
+    void release(std::uint64_t n = 1);
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::uint64_t count_;
+    Notify notify_;
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_SYNC_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fundamental simulation types: simulated time and identifiers.
+ *
+ * Simulated time is counted in integer ticks, with 1 tick = 1 picosecond.
+ * Picosecond resolution lets latency statistics reproduce sub-nanosecond
+ * means (e.g. the paper's 257.7 ns RMM call latency) without floating-point
+ * event times, while a 64-bit tick still spans ~213 days of simulated time.
+ */
+
+#ifndef CG_SIM_TYPES_HH
+#define CG_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace cg::sim {
+
+/** Simulated time in ticks; 1 tick = 1 picosecond. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no deadline / never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** @{ Time unit literals (multiply: `5 * usec`). */
+constexpr Tick psec = 1;
+constexpr Tick nsec = 1000 * psec;
+constexpr Tick usec = 1000 * nsec;
+constexpr Tick msec = 1000 * usec;
+constexpr Tick sec = 1000 * msec;
+/** @} */
+
+/** Convert ticks to (double) nanoseconds, for reporting. */
+constexpr double
+toNsec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(nsec);
+}
+
+/** Convert ticks to (double) microseconds, for reporting. */
+constexpr double
+toUsec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(usec);
+}
+
+/** Convert ticks to (double) milliseconds, for reporting. */
+constexpr double
+toMsec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(msec);
+}
+
+/** Convert ticks to (double) seconds, for reporting. */
+constexpr double
+toSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(sec);
+}
+
+/** Physical core identifier within a Machine. */
+using CoreId = int;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = -1;
+
+/**
+ * Security domain identifier used to tag microarchitectural state.
+ *
+ * Domains 0 and 1 are reserved for the untrusted host software stack and
+ * the trusted security monitor respectively; confidential VMs are assigned
+ * domains >= firstVmDomain.
+ */
+using DomainId = int;
+
+constexpr DomainId hostDomain = 0;
+constexpr DomainId monitorDomain = 1;
+constexpr DomainId firstVmDomain = 2;
+constexpr DomainId invalidDomain = -1;
+
+} // namespace cg::sim
+
+#endif // CG_SIM_TYPES_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The vCPU kick broker: KVM's mechanism for interrupting a vCPU that
+ * is currently executing guest code, by sending a physical IPI to the
+ * core running it. One SGI number is shared by all VMs (as in Linux).
+ */
+
+#ifndef CG_VMM_KICK_HH
+#define CG_VMM_KICK_HH
+
+#include <map>
+#include <vector>
+
+#include "guest/vcpu.hh"
+#include "host/kernel.hh"
+
+namespace cg::vmm {
+
+class KickBroker
+{
+  public:
+    explicit KickBroker(host::Kernel& kernel);
+
+    /**
+     * Interrupt @p v if it is executing guest code: an IPI reaches its
+     * core and forces a HostKick exit. No-op for exited vCPUs (their
+     * runner thread is already in host code).
+     */
+    void kick(guest::VCpu& v);
+
+    std::uint64_t kicksSent() const { return sent_; }
+
+  private:
+    void onIpi(sim::CoreId core);
+
+    host::Kernel& kernel_;
+    int ipi_;
+    std::map<sim::CoreId, std::vector<guest::VCpu*>> pending_;
+    std::uint64_t sent_ = 0;
+};
+
+} // namespace cg::vmm
+
+#endif // CG_VMM_KICK_HH

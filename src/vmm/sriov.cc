@@ -1,0 +1,92 @@
+#include "vmm/sriov.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::vmm {
+
+using guest::VCpu;
+using sim::Compute;
+using sim::Tick;
+
+SriovNic::SriovNic(KvmVm& vm, NetworkFabric& fabric, Config cfg)
+    : vm_(vm), fabric_(fabric), cfg_(cfg)
+{
+    port_ = fabric_.attach([this](const Packet& p) { onFabricRx(p); });
+    if (!cfg_.directToGuest) {
+        host::Kernel& k = vm_.kernel();
+        k.routeIrq(cfg_.msiSpi, cfg_.msiTargetCore);
+        k.setIrqHandler(cfg_.msiSpi, [this](sim::CoreId) {
+            // Host IRQ handler forwards the VF interrupt into the
+            // guest (no direct delivery in the prototype, 5.3).
+            vm_.queueInjection(cfg_.irqVcpu, cfg_.virq);
+        });
+    }
+    vm_.guestVm().vcpu(cfg_.irqVcpu).setVirqHandler(
+        cfg_.virq, [this] { onGuestIrq(); });
+}
+
+sim::Proc<void>
+SriovNic::guestSend(VCpu& v, std::uint64_t bytes, int dst_port,
+                    std::uint64_t cookie)
+{
+    hw::Machine& m = v.vm().machine();
+    const hw::Costs& costs = m.costs();
+    // Guest network stack + posted doorbell write; the VF DMAs the
+    // payload itself (serialisation happens on the fabric port).
+    co_await Compute{m.cost(costs.guestNetStack) +
+                     m.cost(costs.sriovDoorbell)};
+    Packet p;
+    p.bytes = bytes;
+    p.srcPort = port_;
+    p.dstPort = dst_port;
+    p.cookie = cookie;
+    fabric_.send(p);
+    ++txPackets_;
+}
+
+sim::Proc<Packet>
+SriovNic::guestRecv(VCpu& v)
+{
+    hw::Machine& m = v.vm().machine();
+    if (guestRx_.empty() && !rxDone_.empty()) {
+        // NAPI poll: under load the driver pulls DMA'd packets from
+        // the ring directly, with interrupts disabled.
+        co_await Compute{m.cost(300 * sim::nsec)};
+        while (!rxDone_.empty()) {
+            guestRx_.send(rxDone_.front());
+            rxDone_.pop_front();
+        }
+    }
+    if (guestRx_.empty() && rxDone_.empty()) {
+        // Out of work: re-enable the interrupt before blocking.
+        irqArmed_ = true;
+    }
+    Packet p = co_await guestRx_.recv();
+    // Payload already in guest memory via DMA: stack cost only.
+    co_await Compute{m.cost(m.costs().guestNetStack)};
+    co_return p;
+}
+
+void
+SriovNic::onFabricRx(const Packet& pkt)
+{
+    rxDone_.push_back(pkt);
+    ++rxPackets_;
+    // DMA complete: the VF raises its MSI towards the host — unless
+    // the driver is polling with interrupts masked (NAPI).
+    if (irqArmed_) {
+        irqArmed_ = false;
+        vm_.kernel().machine().gic().raiseSpi(cfg_.msiSpi);
+    }
+}
+
+void
+SriovNic::onGuestIrq()
+{
+    while (!rxDone_.empty()) {
+        guestRx_.send(rxDone_.front());
+        rxDone_.pop_front();
+    }
+}
+
+} // namespace cg::vmm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Virtio device emulation: the exit-intensive I/O path of figs. 8/9.
+ *
+ * Each device is a pair of halves:
+ *  - a guest-side driver API (called from guest processes): builds
+ *    descriptors, pays guest-kernel stack costs, and *kicks* the device
+ *    through a trapped MMIO doorbell write — the VM exit whose cost
+ *    differs between shared-core and core-gapped configurations;
+ *  - a host-side emulation thread (a VMM I/O thread contending for
+ *    host CPU): pops descriptors, pays copy costs, talks to the
+ *    backend (network fabric / disk), and injects completion IRQs.
+ *
+ * Kick suppression mirrors virtio's EVENT_IDX: a kick is only sent
+ * when the ring was previously empty.
+ */
+
+#ifndef CG_VMM_VIRTIO_HH
+#define CG_VMM_VIRTIO_HH
+
+#include <deque>
+#include <map>
+
+#include "vmm/disk.hh"
+#include "vmm/kvm.hh"
+#include "vmm/netfabric.hh"
+
+namespace cg::vmm {
+
+/** Default MMIO window assignments (one page per device). */
+constexpr std::uint64_t virtioNetMmioBase = 0x0a000000;
+constexpr std::uint64_t virtioBlkMmioBase = 0x0a001000;
+constexpr std::uint64_t virtioKickOffset = 0x50;
+
+/** Emulated virtio network interface. */
+class VirtioNet
+{
+  public:
+    struct Config {
+        std::uint64_t mmioBase = virtioNetMmioBase;
+        hw::IntId irq = 40;   ///< completion/RX virtual interrupt
+        int irqVcpu = 0;      ///< vCPU receiving device interrupts
+        host::CpuMask ioThreadAffinity = host::CpuMask::all();
+    };
+
+    VirtioNet(KvmVm& vm, NetworkFabric& fabric, Config cfg);
+    ~VirtioNet();
+
+    /** This NIC's port on the fabric. */
+    int port() const { return port_; }
+
+    /** @{ Guest driver API (call from guest processes). */
+    /** Transmit a packet; returns once handed to the device ring. */
+    sim::Proc<void> guestSend(guest::VCpu& v, std::uint64_t bytes,
+                              int dst_port, std::uint64_t cookie = 0);
+
+    /** Receive the next packet (blocks the guest process). */
+    sim::Proc<Packet> guestRecv(guest::VCpu& v);
+    /** @} */
+
+    std::uint64_t txPackets() const { return txPackets_; }
+    std::uint64_t rxPackets() const { return rxPackets_; }
+
+  private:
+    struct TxReq {
+        std::uint64_t bytes;
+        int dstPort;
+        std::uint64_t cookie;
+    };
+
+    sim::Proc<void> ioThreadBody();
+    void onKick();
+    void onFabricRx(const Packet& pkt);
+    void onGuestIrq();
+
+    KvmVm& vm_;
+    NetworkFabric& fabric_;
+    Config cfg_;
+    int port_;
+    std::deque<TxReq> txRing_;
+    std::deque<Packet> rxBacklog_; ///< arrived, awaiting VMM copy
+    std::deque<Packet> rxDone_;    ///< copied in, awaiting guest IRQ
+    /** NAPI-style coalescing of RX completion interrupts. */
+    bool irqArmed_ = true;
+    sim::Notify ioNotify_;
+    sim::Channel<Packet> guestRx_;
+    host::Thread* ioThread_ = nullptr;
+    std::uint64_t txPackets_ = 0;
+    std::uint64_t rxPackets_ = 0;
+};
+
+/** Emulated virtio block device. */
+class VirtioBlk
+{
+  public:
+    struct Config {
+        std::uint64_t mmioBase = virtioBlkMmioBase;
+        hw::IntId irq = 41;
+        int irqVcpu = 0;
+        host::CpuMask ioThreadAffinity = host::CpuMask::all();
+    };
+
+    VirtioBlk(KvmVm& vm, Disk& disk, Config cfg);
+    ~VirtioBlk();
+
+    /**
+     * Synchronous (O_DIRECT-style) block I/O from a guest process:
+     * returns when the completion interrupt has been handled.
+     */
+    sim::Proc<void> guestIo(guest::VCpu& v, std::uint64_t bytes,
+                            bool write);
+
+    std::uint64_t requestsCompleted() const { return completedCount_; }
+
+  private:
+    struct BlkReq {
+        std::uint64_t bytes;
+        bool write;
+        std::uint64_t cookie;
+    };
+
+    sim::Proc<void> ioThreadBody();
+    void onKick();
+    void onGuestIrq();
+
+    KvmVm& vm_;
+    Disk& disk_;
+    Config cfg_;
+    std::deque<BlkReq> ring_;
+    std::deque<std::uint64_t> done_;      ///< completions awaiting IRQ
+    std::map<std::uint64_t, sim::Notify> waiters_;
+    sim::Notify ioNotify_;
+    host::Thread* ioThread_ = nullptr;
+    std::uint64_t nextCookie_ = 1;
+    std::uint64_t completedCount_ = 0;
+};
+
+} // namespace cg::vmm
+
+#endif // CG_VMM_VIRTIO_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A CoreMark-PRO-like CPU-bound workload (figs. 6/7, table 4): one
+ * worker per vCPU iterating a fixed unit of compute. The score is
+ * iterations completed per second over the measurement window,
+ * aggregated across workers — sensitive to exit overheads, interrupt
+ * handling, and microarchitectural pollution, like the real benchmark.
+ */
+
+#ifndef CG_WORKLOADS_COREMARK_HH
+#define CG_WORKLOADS_COREMARK_HH
+
+#include "workloads/testbed.hh"
+
+namespace cg::workloads {
+
+class CoreMarkPro
+{
+  public:
+    struct Config {
+        /** Compute per iteration (the "workload unit"). */
+        Tick iterationWork = 250 * sim::usec;
+        /** Measurement window after the testbed is up. */
+        Tick duration = 2 * sim::sec;
+        /** Working-set size in cache lines per iteration batch. */
+        std::size_t footprint = 640;
+    };
+
+    struct Result {
+        double score = 0.0; ///< iterations per second, aggregate
+        std::uint64_t iterations = 0;
+        Tick elapsed = 0;
+    };
+
+    CoreMarkPro(Testbed& bed, VmInstance& vm, Config cfg);
+
+    /** Install the worker processes (call before the sim runs). */
+    void install();
+
+    /** Collect results (after the run completes). */
+    Result result() const;
+
+    const Config& config() const { return cfg_; }
+
+  private:
+    sim::Proc<void> worker(int vcpu_idx);
+
+    Testbed& bed_;
+    VmInstance& vm_;
+    Config cfg_;
+    std::vector<std::uint64_t> iters_;
+    Tick measuredStart_ = 0;
+    Tick measuredEnd_ = 0;
+};
+
+} // namespace cg::workloads
+
+#endif // CG_WORKLOADS_COREMARK_HH

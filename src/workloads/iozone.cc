@@ -1,0 +1,54 @@
+#include "workloads/iozone.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::workloads {
+
+IoZone::IoZone(Testbed& bed, VmInstance& vm, Config cfg)
+    : bed_(bed), vm_(vm), cfg_(cfg)
+{
+    if (!vm_.vblk)
+        sim::fatal("IoZone needs a virtio-blk device on '%s'",
+                   vm_.vm->name().c_str());
+}
+
+void
+IoZone::install()
+{
+    vm_.vcpu(0).startGuest(
+        sim::strFormat("%s/iozone", vm_.vm->name().c_str()), runner());
+}
+
+sim::Proc<void>
+IoZone::runner()
+{
+    co_await bed_.started().wait();
+    guest::VCpu& v = vm_.vcpu(0);
+    sim::Simulation& s = bed_.sim();
+    const int total_ops = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(cfg_.maxOps),
+        std::max<std::uint64_t>(1, cfg_.fileBytes / cfg_.recordBytes)));
+    start_ = s.now();
+    for (int i = 0; i < total_ops; ++i) {
+        co_await vm_.vblk->guestIo(v, cfg_.recordBytes, cfg_.write);
+        ++ops_;
+    }
+    end_ = s.now();
+    co_await v.shutdown();
+}
+
+IoZone::Result
+IoZone::result() const
+{
+    Result r;
+    r.ops = ops_;
+    r.elapsed = end_ > start_ ? end_ - start_ : 0;
+    if (r.elapsed > 0) {
+        const double bytes = static_cast<double>(ops_) *
+                             static_cast<double>(cfg_.recordBytes);
+        r.throughputMBps = bytes / (1 << 20) / sim::toSec(r.elapsed);
+    }
+    return r;
+}
+
+} // namespace cg::workloads

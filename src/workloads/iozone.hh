@@ -1,0 +1,52 @@
+/**
+ * @file
+ * An IOzone-style synchronous block-I/O sweep (fig. 9): O_DIRECT
+ * read/write of a file at varying record sizes through virtio-blk,
+ * reporting sustained throughput per record size.
+ */
+
+#ifndef CG_WORKLOADS_IOZONE_HH
+#define CG_WORKLOADS_IOZONE_HH
+
+#include "workloads/testbed.hh"
+
+namespace cg::workloads {
+
+class IoZone
+{
+  public:
+    struct Config {
+        std::uint64_t recordBytes = 64 * 1024;
+        std::uint64_t fileBytes = 256ull << 20;
+        bool write = false;
+        /** Cap on operations so huge sweeps stay bounded. */
+        int maxOps = 2048;
+    };
+
+    struct Result {
+        double throughputMBps = 0.0;
+        int ops = 0;
+        Tick elapsed = 0;
+    };
+
+    IoZone(Testbed& bed, VmInstance& vm, Config cfg);
+
+    /** Install the I/O process on vCPU 0 (VM must have virtio-blk). */
+    void install();
+
+    Result result() const;
+
+  private:
+    sim::Proc<void> runner();
+
+    Testbed& bed_;
+    VmInstance& vm_;
+    Config cfg_;
+    int ops_ = 0;
+    Tick start_ = 0;
+    Tick end_ = 0;
+};
+
+} // namespace cg::workloads
+
+#endif // CG_WORKLOADS_IOZONE_HH

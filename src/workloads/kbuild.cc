@@ -1,0 +1,75 @@
+#include "workloads/kbuild.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::workloads {
+
+using sim::Compute;
+
+KernelBuild::KernelBuild(Testbed& bed, VmInstance& vm, Config cfg)
+    : bed_(bed), vm_(vm), cfg_(cfg)
+{
+    if (!vm_.vblk)
+        sim::fatal("KernelBuild needs a virtio-blk device on '%s'",
+                   vm_.vm->name().c_str());
+}
+
+void
+KernelBuild::install()
+{
+    for (int i = 0; i < vm_.numVcpus(); ++i) {
+        vm_.vcpu(i).startGuest(
+            sim::strFormat("%s/cc%d", vm_.vm->name().c_str(), i),
+            worker(i));
+    }
+}
+
+sim::Proc<void>
+KernelBuild::worker(int vcpu_idx)
+{
+    co_await bed_.started().wait();
+    guest::VCpu& v = vm_.vcpu(vcpu_idx);
+    sim::Simulation& s = bed_.sim();
+    if (start_ == 0)
+        start_ = s.now();
+    for (;;) {
+        if (nextJob_ >= cfg_.jobs)
+            break;
+        ++nextJob_;
+        co_await vm_.vblk->guestIo(v, cfg_.sourceBytes, false);
+        co_await Compute{s.rng().jittered(cfg_.compilePerJob, 0.15)};
+        co_await vm_.vblk->guestIo(v, cfg_.objectBytes, true);
+        ++jobsDone_;
+    }
+    // Last worker out runs the serial link step; everyone else keeps
+    // its vCPU alive until then (vCPU 0 handles the disk interrupts).
+    if (++workersDone_ == vm_.numVcpus()) {
+        co_await link(v);
+        buildDone_.open();
+    } else {
+        co_await buildDone_.wait();
+    }
+    co_await v.shutdown();
+}
+
+sim::Proc<void>
+KernelBuild::link(guest::VCpu& v)
+{
+    co_await vm_.vblk->guestIo(v, cfg_.linkReadBytes, false);
+    co_await Compute{cfg_.linkCompute};
+    co_await vm_.vblk->guestIo(v, cfg_.linkWriteBytes, true);
+    end_ = bed_.sim().now();
+    finished_ = true;
+}
+
+KernelBuild::Result
+KernelBuild::result() const
+{
+    Result r;
+    r.jobsDone = jobsDone_;
+    r.finished = finished_;
+    r.buildTime = end_ > start_ ? end_ - start_ : 0;
+    return r;
+}
+
+} // namespace cg::workloads

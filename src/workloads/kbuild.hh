@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A parallel-build workload (fig. 10: Linux kernel build over virtio
+ * disk): a pool of compile jobs, each reading sources from the block
+ * device, computing, and writing an object back; one worker per vCPU
+ * pulls jobs until the pool drains, then a serial link step finishes.
+ */
+
+#ifndef CG_WORKLOADS_KBUILD_HH
+#define CG_WORKLOADS_KBUILD_HH
+
+#include "workloads/testbed.hh"
+
+namespace cg::workloads {
+
+class KernelBuild
+{
+  public:
+    struct Config {
+        int jobs = 240;
+        Tick compilePerJob = 220 * sim::msec;
+        std::uint64_t sourceBytes = 64 * 1024;
+        std::uint64_t objectBytes = 48 * 1024;
+        Tick linkCompute = 1500 * sim::msec;
+        std::uint64_t linkReadBytes = 12ull << 20;
+        std::uint64_t linkWriteBytes = 30ull << 20;
+    };
+
+    struct Result {
+        Tick buildTime = 0;
+        int jobsDone = 0;
+        bool finished = false;
+    };
+
+    KernelBuild(Testbed& bed, VmInstance& vm, Config cfg);
+
+    /** Install one worker per vCPU (VM must have virtio-blk). */
+    void install();
+
+    Result result() const;
+
+  private:
+    sim::Proc<void> worker(int vcpu_idx);
+    sim::Proc<void> link(guest::VCpu& v);
+
+    Testbed& bed_;
+    VmInstance& vm_;
+    Config cfg_;
+    int nextJob_ = 0;
+    int jobsDone_ = 0;
+    int workersDone_ = 0;
+    /** All vCPUs stay up (IRQ delivery!) until the build finishes. */
+    sim::Gate buildDone_;
+    Tick start_ = 0;
+    Tick end_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace cg::workloads
+
+#endif // CG_WORKLOADS_KBUILD_HH

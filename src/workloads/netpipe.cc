@@ -1,0 +1,89 @@
+#include "workloads/netpipe.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::workloads {
+
+NetPipeResponder::NetPipeResponder(RemoteHost& host) : host_(host)
+{
+    host_.setHandler([this](const vmm::Packet& p) { onPacket(p); });
+}
+
+void
+NetPipeResponder::onPacket(const vmm::Packet& pkt)
+{
+    const std::uint64_t msg = NetPipe::msgIdOf(pkt.cookie);
+    const int total = NetPipe::packetsOf(pkt.cookie);
+    int& seen = rxCount_[msg];
+    if (++seen < total)
+        return;
+    rxCount_.erase(msg);
+    // Whole message received: echo it back, packet by packet.
+    for (int i = 0; i < total; ++i)
+        host_.send(pkt.srcPort, pkt.bytes, pkt.cookie);
+}
+
+NetPipe::NetPipe(Testbed& bed, VmInstance& vm, GuestNic& nic,
+                 RemoteHost& remote, Config cfg)
+    : bed_(bed), vm_(vm), nic_(nic), remote_(remote), cfg_(cfg)
+{}
+
+void
+NetPipe::install()
+{
+    vm_.vcpu(0).startGuest(
+        sim::strFormat("%s/netpipe", vm_.vm->name().c_str()), client());
+}
+
+sim::Proc<void>
+NetPipe::client()
+{
+    co_await bed_.started().wait();
+    guest::VCpu& v = vm_.vcpu(0);
+    sim::Simulation& s = bed_.sim();
+    const std::uint64_t npkts =
+        std::max<std::uint64_t>(1, (cfg_.messageBytes + mtuPayload - 1) /
+                                       mtuPayload);
+    std::uint64_t msg_id = 1;
+    for (int it = 0; it < cfg_.warmup + cfg_.iterations; ++it) {
+        const Tick t0 = s.now();
+        const std::uint64_t cookie = cookieOf(msg_id, npkts);
+        std::uint64_t left = cfg_.messageBytes;
+        for (std::uint64_t p = 0; p < npkts; ++p) {
+            const std::uint64_t payload =
+                std::min<std::uint64_t>(left, mtuPayload);
+            left -= payload;
+            co_await nic_.send(v, payload + frameOverhead,
+                               remote_.port(), cookie);
+        }
+        // Wait for the echoed message.
+        std::uint64_t got = 0;
+        while (got < npkts) {
+            vmm::Packet reply = co_await nic_.recv(v);
+            if (msgIdOf(reply.cookie) == msg_id)
+                ++got;
+        }
+        ++msg_id;
+        if (it >= cfg_.warmup)
+            rtts_.sample(static_cast<double>(s.now() - t0));
+    }
+    co_await v.shutdown();
+}
+
+NetPipe::Result
+NetPipe::result() const
+{
+    Result r;
+    r.completed = static_cast<int>(rtts_.count());
+    if (r.completed == 0)
+        return r;
+    const double rtt_ps = rtts_.mean();
+    r.rttMeanUs = rtt_ps / 1e6;
+    r.latencyUs = r.rttMeanUs / 2.0;
+    const double one_way_s = rtt_ps / 2.0 / 1e12;
+    r.throughputGbps = static_cast<double>(cfg_.messageBytes) * 8.0 /
+                       one_way_s / 1e9;
+    return r;
+}
+
+} // namespace cg::workloads

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A NetPIPE-style ping-pong benchmark (fig. 8): the guest sends a
+ * message of configurable size (as 1500-byte packets) to the remote
+ * machine, which echoes it back; round-trip time and throughput are
+ * recorded per message size, over either NIC path.
+ */
+
+#ifndef CG_WORKLOADS_NETPIPE_HH
+#define CG_WORKLOADS_NETPIPE_HH
+
+#include <map>
+
+#include "workloads/nic.hh"
+#include "workloads/remote.hh"
+#include "workloads/testbed.hh"
+
+namespace cg::workloads {
+
+/** Reassembles NetPIPE messages at the remote host and echoes them. */
+class NetPipeResponder
+{
+  public:
+    explicit NetPipeResponder(RemoteHost& host);
+
+  private:
+    void onPacket(const vmm::Packet& pkt);
+
+    RemoteHost& host_;
+    std::map<std::uint64_t, int> rxCount_; ///< msgId -> packets seen
+};
+
+class NetPipe
+{
+  public:
+    static constexpr std::uint64_t mtuPayload = 1448;
+    static constexpr std::uint64_t frameOverhead = 52;
+
+    struct Config {
+        std::uint64_t messageBytes = 1448;
+        int iterations = 20;
+        int warmup = 3;
+    };
+
+    struct Result {
+        double rttMeanUs = 0.0;
+        double latencyUs = 0.0;      ///< one-way, rtt/2
+        double throughputGbps = 0.0; ///< message bits / one-way time
+        int completed = 0;
+    };
+
+    /** @p nic is the guest-side interface; @p remote must respond. */
+    NetPipe(Testbed& bed, VmInstance& vm, GuestNic& nic,
+            RemoteHost& remote, Config cfg);
+
+    /** Install the client process on vCPU 0. */
+    void install();
+
+    Result result() const;
+
+    /** Encode/decode the message framing cookie. */
+    static std::uint64_t
+    cookieOf(std::uint64_t msg_id, std::uint64_t total_packets)
+    {
+        return (msg_id << 16) | (total_packets & 0xffff);
+    }
+    static std::uint64_t msgIdOf(std::uint64_t c) { return c >> 16; }
+    static int
+    packetsOf(std::uint64_t c)
+    {
+        return static_cast<int>(c & 0xffff);
+    }
+
+  private:
+    sim::Proc<void> client();
+
+    Testbed& bed_;
+    VmInstance& vm_;
+    GuestNic& nic_;
+    RemoteHost& remote_;
+    Config cfg_;
+    sim::Distribution rtts_; ///< picoseconds
+};
+
+} // namespace cg::workloads
+
+#endif // CG_WORKLOADS_NETPIPE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A uniform guest-side NIC interface over the two network paths the
+ * paper evaluates (fig. 8): emulated virtio and SR-IOV passthrough.
+ */
+
+#ifndef CG_WORKLOADS_NIC_HH
+#define CG_WORKLOADS_NIC_HH
+
+#include "vmm/sriov.hh"
+#include "vmm/virtio.hh"
+
+namespace cg::workloads {
+
+class GuestNic
+{
+  public:
+    virtual ~GuestNic() = default;
+
+    virtual sim::Proc<void> send(guest::VCpu& v, std::uint64_t bytes,
+                                 int dst_port,
+                                 std::uint64_t cookie) = 0;
+    virtual sim::Proc<vmm::Packet> recv(guest::VCpu& v) = 0;
+    virtual int port() const = 0;
+};
+
+class VirtioGuestNic : public GuestNic
+{
+  public:
+    explicit VirtioGuestNic(vmm::VirtioNet& n) : nic_(n) {}
+
+    sim::Proc<void>
+    send(guest::VCpu& v, std::uint64_t bytes, int dst_port,
+         std::uint64_t cookie) override
+    {
+        return nic_.guestSend(v, bytes, dst_port, cookie);
+    }
+
+    sim::Proc<vmm::Packet>
+    recv(guest::VCpu& v) override
+    {
+        return nic_.guestRecv(v);
+    }
+
+    int port() const override { return nic_.port(); }
+
+  private:
+    vmm::VirtioNet& nic_;
+};
+
+class SriovGuestNic : public GuestNic
+{
+  public:
+    explicit SriovGuestNic(vmm::SriovNic& n) : nic_(n) {}
+
+    sim::Proc<void>
+    send(guest::VCpu& v, std::uint64_t bytes, int dst_port,
+         std::uint64_t cookie) override
+    {
+        return nic_.guestSend(v, bytes, dst_port, cookie);
+    }
+
+    sim::Proc<vmm::Packet>
+    recv(guest::VCpu& v) override
+    {
+        return nic_.guestRecv(v);
+    }
+
+    int port() const override { return nic_.port(); }
+
+  private:
+    vmm::SriovNic& nic_;
+};
+
+} // namespace cg::workloads
+
+#endif // CG_WORKLOADS_NIC_HH

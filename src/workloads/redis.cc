@@ -1,0 +1,175 @@
+#include "workloads/redis.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::workloads {
+
+using sim::Compute;
+
+const char*
+redisOpName(RedisOp op)
+{
+    switch (op) {
+      case RedisOp::Set:
+        return "SET";
+      case RedisOp::Get:
+        return "GET";
+      case RedisOp::Lrange100:
+        return "LRANGE 100";
+    }
+    return "?";
+}
+
+RedisBenchmark::RedisBenchmark(Testbed& bed, VmInstance& vm,
+                               GuestNic& nic, RemoteHost& clients,
+                               Config cfg)
+    : bed_(bed),
+      vm_(vm),
+      nic_(nic),
+      remote_(clients),
+      cfg_(cfg),
+      sentAt_(static_cast<size_t>(cfg.clients), 0)
+{}
+
+std::uint64_t
+RedisBenchmark::requestBytes() const
+{
+    switch (cfg_.op) {
+      case RedisOp::Set:
+        return 64 + cfg_.valueBytes;
+      case RedisOp::Get:
+        return 64;
+      case RedisOp::Lrange100:
+        return 72;
+    }
+    return 64;
+}
+
+std::uint64_t
+RedisBenchmark::responseBytes() const
+{
+    switch (cfg_.op) {
+      case RedisOp::Set:
+        return 8; // +OK
+      case RedisOp::Get:
+        return 16 + cfg_.valueBytes;
+      case RedisOp::Lrange100:
+        return 100 * cfg_.valueBytes + 400;
+    }
+    return 8;
+}
+
+Tick
+RedisBenchmark::serviceTime() const
+{
+    switch (cfg_.op) {
+      case RedisOp::Set:
+        return cfg_.setService;
+      case RedisOp::Get:
+        return cfg_.getService;
+      case RedisOp::Lrange100:
+        return cfg_.lrangeService;
+    }
+    return cfg_.getService;
+}
+
+void
+RedisBenchmark::install()
+{
+    vm_.vcpu(0).startGuest(
+        sim::strFormat("%s/redis-server", vm_.vm->name().c_str()),
+        server());
+    remote_.setHandler(
+        [this](const vmm::Packet& p) { onClientRx(p); });
+}
+
+sim::Proc<void>
+RedisBenchmark::server()
+{
+    co_await bed_.started().wait();
+    guest::VCpu& v = vm_.vcpu(0);
+    sim::Simulation& s = bed_.sim();
+    // Kick the client fleet off, now that the server is listening.
+    measureStart_ = s.now();
+    measureEnd_ = measureStart_ + cfg_.duration;
+    if (!clientsStarted_) {
+        clientsStarted_ = true;
+        for (int c = 0; c < cfg_.clients; ++c)
+            clientSend(c);
+    }
+    for (;;) {
+        vmm::Packet req = co_await nic_.recv(v);
+        Tick service = s.rng().jittered(serviceTime(), 0.08);
+        if (s.rng().chance(cfg_.slowOpProbability)) {
+            // Housekeeping strikes: rehash step, expiry cycle, etc.
+            service = static_cast<Tick>(
+                static_cast<double>(service) * cfg_.slowOpFactor);
+        }
+        co_await Compute{service};
+        co_await nic_.send(v, responseBytes(), remote_.port(),
+                           req.cookie);
+        if (s.now() >= measureEnd_)
+            break;
+    }
+    co_await v.shutdown();
+}
+
+void
+RedisBenchmark::clientSend(int client_id)
+{
+    sentAt_[static_cast<size_t>(client_id)] = bed_.sim().now();
+    remote_.send(nic_.port(), requestBytes(),
+                 static_cast<std::uint64_t>(client_id));
+}
+
+void
+RedisBenchmark::clientSendLater(int client_id)
+{
+    if (cfg_.clientThink == 0) {
+        clientSend(client_id);
+        return;
+    }
+    const Tick think = static_cast<Tick>(bed_.sim().rng().exponential(
+        static_cast<double>(cfg_.clientThink)));
+    bed_.sim().queue().scheduleIn(think, [this, client_id] {
+        if (bed_.sim().now() < measureEnd_)
+            clientSend(client_id);
+    });
+}
+
+void
+RedisBenchmark::onClientRx(const vmm::Packet& pkt)
+{
+    const int client = static_cast<int>(pkt.cookie);
+    if (client < 0 || client >= cfg_.clients)
+        return;
+    const Tick now = bed_.sim().now();
+    const Tick sent = sentAt_[static_cast<size_t>(client)];
+    if (sent > 0) {
+        latencies_.sample(static_cast<double>(now - sent));
+        ++completed_;
+    }
+    if (now < measureEnd_)
+        clientSendLater(client);
+}
+
+RedisBenchmark::Result
+RedisBenchmark::result() const
+{
+    Result r;
+    r.completed = completed_;
+    const Tick window =
+        measureEnd_ > measureStart_ ? measureEnd_ - measureStart_ : 0;
+    if (window > 0) {
+        r.throughputKrps = static_cast<double>(completed_) /
+                           sim::toSec(window) / 1e3;
+    }
+    if (latencies_.count() > 0) {
+        r.meanMs = latencies_.mean() / 1e9;
+        r.p95Ms = latencies_.percentile(95) / 1e9;
+        r.p99Ms = latencies_.percentile(99) / 1e9;
+    }
+    return r;
+}
+
+} // namespace cg::workloads

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A redis-benchmark-style workload (table 5): a single-threaded
+ * in-guest server handling SET/GET/LRANGE requests over SR-IOV, driven
+ * by a fleet of closed-loop clients on the remote machine. Reports
+ * throughput and mean/p95/p99 latency.
+ */
+
+#ifndef CG_WORKLOADS_REDIS_HH
+#define CG_WORKLOADS_REDIS_HH
+
+#include <vector>
+
+#include "workloads/nic.hh"
+#include "workloads/remote.hh"
+#include "workloads/testbed.hh"
+
+namespace cg::workloads {
+
+enum class RedisOp { Set, Get, Lrange100 };
+
+const char* redisOpName(RedisOp op);
+
+class RedisBenchmark
+{
+  public:
+    struct Config {
+        RedisOp op = RedisOp::Get;
+        int clients = 50;
+        std::uint64_t valueBytes = 512;
+        Tick duration = 2 * sim::sec;
+        /** Single-threaded server service time per operation. */
+        Tick setService = 16500 * sim::nsec;
+        Tick getService = 15500 * sim::nsec;
+        Tick lrangeService = 72 * sim::usec;
+        /** Mean exponential client think time between requests (adds
+         * arrival noise so the server's queue occasionally drains and
+         * interrupt-path costs show, as on real deployments). */
+        Tick clientThink = 120 * sim::usec;
+        /** Occasional slow operations (rehashing, expiry cycles, lazy
+         * freeing): probability and cost multiplier. These produce the
+         * latency tail redis-benchmark reports (table 5's p99 is ~2x
+         * the mean). */
+        double slowOpProbability = 0.012;
+        double slowOpFactor = 9.0;
+    };
+
+    struct Result {
+        double throughputKrps = 0.0;
+        double meanMs = 0.0;
+        double p95Ms = 0.0;
+        double p99Ms = 0.0;
+        std::uint64_t completed = 0;
+    };
+
+    RedisBenchmark(Testbed& bed, VmInstance& vm, GuestNic& nic,
+                   RemoteHost& clients, Config cfg);
+
+    /** Install server process + client behaviour. */
+    void install();
+
+    Result result() const;
+
+  private:
+    sim::Proc<void> server();
+    void onClientRx(const vmm::Packet& pkt);
+    void clientSend(int client_id);
+    void clientSendLater(int client_id);
+    std::uint64_t requestBytes() const;
+    std::uint64_t responseBytes() const;
+    Tick serviceTime() const;
+
+    Testbed& bed_;
+    VmInstance& vm_;
+    GuestNic& nic_;
+    RemoteHost& remote_;
+    Config cfg_;
+    std::vector<Tick> sentAt_;
+    sim::Distribution latencies_; ///< picoseconds
+    std::uint64_t completed_ = 0;
+    Tick measureStart_ = 0;
+    Tick measureEnd_ = 0;
+    bool clientsStarted_ = false;
+};
+
+} // namespace cg::workloads
+
+#endif // CG_WORKLOADS_REDIS_HH

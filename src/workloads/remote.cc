@@ -1,0 +1,49 @@
+#include "workloads/remote.hh"
+
+#include <algorithm>
+
+namespace cg::workloads {
+
+RemoteHost::RemoteHost(sim::Simulation& sim, vmm::NetworkFabric& fabric,
+                       Tick per_packet_cost)
+    : sim_(sim), fabric_(fabric), perPacket_(per_packet_cost)
+{
+    port_ = fabric_.attach([this](const vmm::Packet& p) { onRx(p); });
+}
+
+void
+RemoteHost::becomeEcho()
+{
+    setHandler([this](const vmm::Packet& p) {
+        send(p.srcPort, p.bytes, p.cookie);
+    });
+}
+
+void
+RemoteHost::onRx(const vmm::Packet& pkt)
+{
+    // Serialise on the remote machine's CPU: each packet costs the
+    // stack time before its handler runs.
+    const Tick start = std::max(sim_.now(), cpuFreeAt_);
+    cpuFreeAt_ = start + sim_.rng().jittered(perPacket_, 0.05);
+    vmm::Packet copy = pkt;
+    sim_.queue().schedule(cpuFreeAt_, [this, copy] {
+        ++received_;
+        if (handler_)
+            handler_(copy);
+    });
+}
+
+void
+RemoteHost::send(int dst_port, std::uint64_t bytes,
+                 std::uint64_t cookie)
+{
+    vmm::Packet p;
+    p.bytes = bytes;
+    p.srcPort = port_;
+    p.dstPort = dst_port;
+    p.cookie = cookie;
+    fabric_.send(p);
+}
+
+} // namespace cg::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The remote client machine: "another equivalent but unmodified system"
+ * in the paper's network experiments (section 5.3). An uncontended
+ * endpoint on the fabric with its own serialised CPU model, usable as
+ * a NetPIPE echo server or as a fleet of closed-loop request clients
+ * (redis-benchmark).
+ */
+
+#ifndef CG_WORKLOADS_REMOTE_HH
+#define CG_WORKLOADS_REMOTE_HH
+
+#include <deque>
+#include <functional>
+
+#include "sim/simulation.hh"
+#include "vmm/netfabric.hh"
+
+namespace cg::workloads {
+
+using sim::Tick;
+
+/**
+ * A remote machine attached to the fabric. Packets are processed in
+ * order with a per-packet stack cost on the remote CPU; the handler
+ * decides what (if anything) to send back.
+ */
+class RemoteHost
+{
+  public:
+    /** Handler: called per received packet, after stack costs. */
+    using Handler = std::function<void(const vmm::Packet&)>;
+
+    RemoteHost(sim::Simulation& sim, vmm::NetworkFabric& fabric,
+               Tick per_packet_cost);
+
+    int port() const { return port_; }
+
+    void setHandler(Handler h) { handler_ = std::move(h); }
+
+    /** Convenience: echo every packet back to its sender. */
+    void becomeEcho();
+
+    /** Send a packet from this host (serialises on the remote CPU). */
+    void send(int dst_port, std::uint64_t bytes, std::uint64_t cookie);
+
+    std::uint64_t received() const { return received_; }
+
+  private:
+    void onRx(const vmm::Packet& pkt);
+
+    sim::Simulation& sim_;
+    vmm::NetworkFabric& fabric_;
+    Tick perPacket_;
+    int port_;
+    Handler handler_;
+    Tick cpuFreeAt_ = 0; ///< the remote CPU handles packets in series
+    std::uint64_t received_ = 0;
+};
+
+} // namespace cg::workloads
+
+#endif // CG_WORKLOADS_REMOTE_HH

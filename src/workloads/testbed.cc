@@ -1,0 +1,243 @@
+#include "workloads/testbed.hh"
+
+#include "sim/simulation.hh"
+
+namespace cg::workloads {
+
+const char*
+runModeName(RunMode m)
+{
+    switch (m) {
+      case RunMode::SharedCore:
+        return "shared-core";
+      case RunMode::SharedCoreCvm:
+        return "shared-core-cvm";
+      case RunMode::CoreGapped:
+        return "core-gapped";
+      case RunMode::CoreGappedBusyWait:
+        return "core-gapped-busywait";
+      case RunMode::CoreGappedNoDelegation:
+        return "core-gapped-nodelegation";
+    }
+    return "?";
+}
+
+bool
+isGapped(RunMode m)
+{
+    return m == RunMode::CoreGapped ||
+           m == RunMode::CoreGappedBusyWait ||
+           m == RunMode::CoreGappedNoDelegation;
+}
+
+Testbed::Testbed(Config cfg) : cfg_(cfg)
+{
+    sim_ = std::make_unique<sim::Simulation>(cfg_.seed);
+    hw::MachineConfig mcfg;
+    mcfg.numCores = cfg_.numCores;
+    mcfg.costs = cfg_.costs;
+    machine_ = std::make_unique<hw::Machine>(*sim_, mcfg);
+    kernel_ = std::make_unique<host::Kernel>(*machine_);
+    kicks_ = std::make_unique<vmm::KickBroker>(*kernel_);
+    rmm_ = std::make_unique<rmm::Rmm>(*machine_,
+                                      rmmConfigFor(cfg_.mode));
+    doorbell_ = std::make_unique<cg::core::ExitDoorbell>(*kernel_);
+    fabric_ = std::make_unique<vmm::NetworkFabric>(*sim_, cfg_.fabric);
+    disk_ = std::make_unique<vmm::Disk>(*sim_, cfg_.disk);
+}
+
+Testbed::~Testbed()
+{
+    // VMs reference the kernel/RMM: drop them first, in reverse order.
+    while (!vms_.empty())
+        vms_.pop_back();
+}
+
+rmm::RmmConfig
+Testbed::rmmConfigFor(RunMode m) const
+{
+    rmm::RmmConfig r;
+    switch (m) {
+      case RunMode::SharedCore:
+      case RunMode::SharedCoreCvm:
+        break;
+      case RunMode::CoreGapped:
+        r.coreGapped = true;
+        r.delegateInterrupts = true;
+        r.localWfi = true;
+        break;
+      case RunMode::CoreGappedBusyWait:
+      case RunMode::CoreGappedNoDelegation:
+        // The fig. 6 ablations: the paper's "busy waiting" lines use
+        // Quarantine-style polling with delegation disabled.
+        r.coreGapped = true;
+        r.delegateInterrupts = false;
+        r.localWfi = true;
+        break;
+    }
+    return r;
+}
+
+vmm::KvmConfig
+Testbed::kvmConfigFor(RunMode m, host::CpuMask vcpu_mask) const
+{
+    vmm::KvmConfig k;
+    k.mode = m == RunMode::SharedCore ? vmm::VmMode::SharedCore
+                                      : vmm::VmMode::SharedCoreCvm;
+    k.vcpuAffinity = vcpu_mask;
+    return k;
+}
+
+VmInstance&
+Testbed::createVm(const std::string& name, int phys_cores,
+                  guest::VmConfig base)
+{
+    if (phys_cores < 1 || (isGapped(cfg_.mode) && phys_cores < 2))
+        sim::fatal("VM '%s': need >= %d physical cores", name.c_str(),
+                   isGapped(cfg_.mode) ? 2 : 1);
+    if (nextCore_ + phys_cores > machine_->numCores())
+        sim::fatal("out of physical cores for VM '%s'", name.c_str());
+    std::vector<sim::CoreId> cores;
+    for (int i = 0; i < phys_cores; ++i)
+        cores.push_back(nextCore_++);
+
+    if (isGapped(cfg_.mode)) {
+        // First core hosts the VMM threads; the rest are dedicated.
+        host::CpuMask host_mask = host::CpuMask::single(cores[0]);
+        std::vector<sim::CoreId> guests(cores.begin() + 1, cores.end());
+        VmInstance& v = createVmOn(name, guests, host_mask,
+                                   phys_cores - 1, base);
+        v.physCores = cores;
+        return v;
+    }
+    host::CpuMask mask;
+    for (sim::CoreId c : cores)
+        mask.set(c);
+    VmInstance& v = createVmOn(name, cores, mask, phys_cores, base);
+    v.physCores = cores;
+    return v;
+}
+
+VmInstance&
+Testbed::createVmOn(const std::string& name,
+                    std::vector<sim::CoreId> guest_cores,
+                    host::CpuMask host_mask, int num_vcpus,
+                    guest::VmConfig base)
+{
+    auto inst = std::make_unique<VmInstance>();
+    base.name = name;
+    base.numVcpus = num_vcpus;
+    inst->vm = std::make_unique<guest::Vm>(*machine_, base,
+                                           nextDomain_++);
+    inst->guestCores = guest_cores;
+    inst->hostMask = host_mask;
+    inst->physCores = guest_cores;
+
+    const bool gapped = isGapped(cfg_.mode);
+    host::CpuMask vcpu_mask = host_mask;
+    if (!gapped) {
+        vcpu_mask = host::CpuMask{};
+        for (sim::CoreId c : guest_cores)
+            vcpu_mask.set(c);
+    }
+    inst->kvm = std::make_unique<vmm::KvmVm>(
+        *kernel_, *inst->vm, *kicks_,
+        kvmConfigFor(cfg_.mode, vcpu_mask));
+
+    if (cfg_.mode != RunMode::SharedCore) {
+        const int realm = vmm::createRealmFor(*rmm_, *inst->vm);
+        inst->kvm->attachRealm(*rmm_, realm);
+        CG_ASSERT(rmm_->realm(realm)->domain == inst->vm->domain(),
+                  "domain bookkeeping out of sync for '%s'",
+                  name.c_str());
+    }
+    if (gapped) {
+        cg::core::GappedVmConfig gcfg;
+        gcfg.guestCores = guest_cores;
+        gcfg.hostCores = host_mask;
+        gcfg.busyWaitRun = cfg_.mode == RunMode::CoreGappedBusyWait;
+        inst->gapped = std::make_unique<cg::core::GappedVm>(
+            *inst->kvm, *doorbell_, gcfg);
+    }
+    vms_.push_back(std::move(inst));
+    return *vms_.back();
+}
+
+void
+Testbed::addVirtioNet(VmInstance& v)
+{
+    vmm::VirtioNet::Config c;
+    c.mmioBase = nextMmioBase_;
+    nextMmioBase_ += 0x1000;
+    c.irq = nextIrq_++;
+    c.ioThreadAffinity = v.hostMask;
+    v.vnet = std::make_unique<vmm::VirtioNet>(*v.kvm, *fabric_, c);
+}
+
+void
+Testbed::addVirtioBlk(VmInstance& v)
+{
+    vmm::VirtioBlk::Config c;
+    c.mmioBase = nextMmioBase_;
+    nextMmioBase_ += 0x1000;
+    c.irq = nextIrq_++;
+    c.ioThreadAffinity = v.hostMask;
+    v.vblk = std::make_unique<vmm::VirtioBlk>(*v.kvm, *disk_, c);
+}
+
+void
+Testbed::addSriovNic(VmInstance& v, bool direct)
+{
+    vmm::SriovNic::Config c;
+    c.msiSpi = nextSpi_++;
+    c.virq = nextIrq_++;
+    if (direct && !v.gapped)
+        sim::fatal("direct interrupt delivery needs a gapped VM");
+    c.directToGuest = direct;
+    // The VF's MSI lands on a VMM host core for this VM.
+    for (sim::CoreId i = 0; i < machine_->numCores(); ++i) {
+        if (v.hostMask.test(i)) {
+            c.msiTargetCore = i;
+            break;
+        }
+    }
+    v.sriov = std::make_unique<vmm::SriovNic>(*v.kvm, *fabric_, c);
+    if (direct)
+        v.gapped->mapDirectIrq(c.msiSpi, c.virq, c.irqVcpu);
+}
+
+Proc<void>
+Testbed::startAll()
+{
+    for (auto& v : vms_) {
+        if (v->gapped)
+            co_await v->gapped->start();
+        else
+            v->kvm->start();
+    }
+    started_.open();
+}
+
+void
+Testbed::spawnStart()
+{
+    sim_->spawn("testbed-start", startAll());
+}
+
+bool
+Testbed::allShutdown() const
+{
+    for (const auto& v : vms_) {
+        if (!v->kvm->shutdownGate().isOpen())
+            return false;
+    }
+    return true;
+}
+
+Tick
+Testbed::run(Tick limit)
+{
+    return sim_->run(limit);
+}
+
+} // namespace cg::workloads

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mixed tenancy: a core-gapped CVM and an ordinary shared-core VM on
+ * the same machine at the same time — the realistic cloud node. The
+ * dedicated cores are offline to the host, so the normal VM's threads
+ * can never touch them, and the CVM's per-core structures stay free
+ * of *everyone* else's residue (and vice versa: the normal VM never
+ * observes CVM residue either).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/gapped_vm.hh"
+#include "sim/simulation.hh"
+#include "vmm/kvm.hh"
+#include "workloads/testbed.hh"
+
+namespace sim = cg::sim;
+namespace hw = cg::hw;
+namespace guest = cg::guest;
+namespace host = cg::host;
+namespace vmm = cg::vmm;
+using namespace cg::workloads;
+using sim::Proc;
+using sim::Tick;
+using sim::Compute;
+using sim::msec;
+
+namespace {
+
+Proc<void>
+computeAndShutdown(Testbed& bed, guest::VCpu& v, Tick work)
+{
+    co_await bed.started().wait();
+    co_await Compute{work};
+    co_await v.shutdown();
+}
+
+} // namespace
+
+TEST(MixedTenancy, GappedCvmAndSharedVmCoexistIsolated)
+{
+    // The testbed's RMM is mode-global, so build the mixed node by
+    // hand: gapped CVM on cores 1-2 (host core 0), a plain shared VM
+    // pinned to cores 3-5.
+    Testbed::Config cfg;
+    cfg.numCores = 6;
+    cfg.mode = RunMode::CoreGapped;
+    Testbed bed(cfg);
+    guest::VmConfig ccfg;
+    ccfg.footprint = 900;
+    ccfg.name = "cvm";
+    VmInstance& cvm = bed.createVm("cvm", 3, ccfg);
+
+    // The neighbour: an ordinary VM run directly by KVM.
+    guest::VmConfig ncfg;
+    ncfg.numVcpus = 3;
+    ncfg.name = "plain";
+    ncfg.footprint = 900;
+    auto plain_vm = std::make_unique<guest::Vm>(
+        bed.machine(), ncfg, sim::firstVmDomain + 10);
+    vmm::KickBroker kicks(bed.kernel());
+    vmm::KvmConfig kcfg;
+    kcfg.mode = vmm::VmMode::SharedCore;
+    host::CpuMask plain_mask;
+    for (sim::CoreId c : {3, 4, 5})
+        plain_mask.set(c);
+    kcfg.vcpuAffinity = plain_mask;
+    vmm::KvmVm plain(bed.kernel(), *plain_vm, kicks, kcfg);
+
+    for (int i = 0; i < cvm.numVcpus(); ++i) {
+        cvm.vcpu(i).startGuest(
+            "c", computeAndShutdown(bed, cvm.vcpu(i), 150 * msec));
+    }
+    for (int i = 0; i < 3; ++i) {
+        plain_vm->vcpu(i).startGuest(
+            "p", computeAndShutdown(bed, plain_vm->vcpu(i),
+                                    150 * msec));
+    }
+    plain.start();
+    bed.spawnStart();
+    bed.run(10 * sim::sec);
+
+    EXPECT_TRUE(cvm.kvm->shutdownGate().isOpen());
+    EXPECT_TRUE(plain.shutdownGate().isOpen());
+
+    // Both made full progress: no cross-interference on CPU time.
+    EXPECT_GE(cvm.vcpu(0).guestCpuTime, 150 * msec);
+    EXPECT_GE(plain_vm->vcpu(0).guestCpuTime, 150 * msec);
+
+    // Isolation, both directions, on every physical core:
+    for (sim::CoreId c : cvm.guestCores) {
+        // The CVM's dedicated cores never held the neighbour's state.
+        hw::CoreUarch& u = bed.machine().core(c).uarch();
+        EXPECT_EQ(u.l1d.entriesOf(plain_vm->domain()), 0u) << c;
+        EXPECT_EQ(u.btb.entriesOf(plain_vm->domain()), 0u) << c;
+        EXPECT_EQ(u.l1d.entriesOf(sim::hostDomain), 0u) << c;
+    }
+    for (sim::CoreId c : {3, 4, 5}) {
+        // And the CVM never ran on the neighbour's cores.
+        hw::CoreUarch& u = bed.machine().core(c).uarch();
+        EXPECT_EQ(u.l1d.entriesOf(cvm.vm->domain()), 0u) << c;
+        EXPECT_EQ(u.tlb.entriesOf(cvm.vm->domain()), 0u) << c;
+    }
+}

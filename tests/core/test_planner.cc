@@ -1,0 +1,107 @@
+/** @file Unit tests for the core planner (admission + placement). */
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hh"
+#include "sim/simulation.hh"
+
+namespace hw = cg::hw;
+namespace sim = cg::sim;
+namespace host = cg::host;
+using cg::core::CorePlanner;
+
+namespace {
+
+struct PlannerFixture : ::testing::Test {
+    sim::Simulation s;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<CorePlanner> planner;
+
+    void
+    boot(int cores, int per_node, host::CpuMask host_mask)
+    {
+        hw::MachineConfig cfg;
+        cfg.numCores = cores;
+        cfg.coresPerNumaNode = per_node;
+        machine = std::make_unique<hw::Machine>(s, cfg);
+        planner = std::make_unique<CorePlanner>(*machine, host_mask);
+    }
+};
+
+} // namespace
+
+TEST_F(PlannerFixture, ReserveExcludesHostCores)
+{
+    boot(8, 8, host::CpuMask::firstN(2));
+    auto r = planner->reserve(3);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->size(), 3u);
+    for (sim::CoreId c : *r)
+        EXPECT_GE(c, 2);
+}
+
+TEST_F(PlannerFixture, AdmissionControlNeverOvercommits)
+{
+    boot(8, 8, host::CpuMask::firstN(2));
+    EXPECT_EQ(planner->freeCores(), 6);
+    auto a = planner->reserve(4);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(planner->freeCores(), 2);
+    // Invariant I7: a 3-core request no longer fits.
+    EXPECT_FALSE(planner->reserve(3).has_value());
+    auto b = planner->reserve(2);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(planner->freeCores(), 0);
+    // No overlap between reservations.
+    for (sim::CoreId c : *a)
+        for (sim::CoreId d : *b)
+            EXPECT_NE(c, d);
+}
+
+TEST_F(PlannerFixture, ReleaseReturnsCapacity)
+{
+    boot(4, 4, host::CpuMask::single(0));
+    auto r = planner->reserve(3);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_FALSE(planner->reserve(1).has_value());
+    planner->release(*r);
+    EXPECT_EQ(planner->freeCores(), 3);
+    EXPECT_TRUE(planner->reserve(1).has_value());
+}
+
+TEST_F(PlannerFixture, PrefersSingleNumaNode)
+{
+    // Two 8-core nodes; host holds cores 0-1; node 0 has 6 free,
+    // node 1 has 8 free.
+    boot(16, 8, host::CpuMask::firstN(2));
+    // Best fit for 6: node 0 exactly.
+    auto r = planner->reserve(6);
+    ASSERT_TRUE(r.has_value());
+    for (sim::CoreId c : *r)
+        EXPECT_EQ(machine->core(c).numaNode(), 0);
+    // Next request lands wholly on node 1.
+    auto r2 = planner->reserve(8);
+    ASSERT_TRUE(r2.has_value());
+    for (sim::CoreId c : *r2)
+        EXPECT_EQ(machine->core(c).numaNode(), 1);
+}
+
+TEST_F(PlannerFixture, SpillsAcrossNodesWhenNeeded)
+{
+    boot(8, 4, host::CpuMask::single(0));
+    // 7 free total (3 on node 0, 4 on node 1): a 6-core VM must span.
+    auto r = planner->reserve(6);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->size(), 6u);
+}
+
+TEST_F(PlannerFixture, IsReservedTracksState)
+{
+    boot(4, 4, host::CpuMask::single(0));
+    auto r = planner->reserve(2);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(planner->isReserved((*r)[0]));
+    EXPECT_FALSE(planner->isReserved(0));
+    planner->release(*r);
+    EXPECT_FALSE(planner->isReserved((*r)[0]));
+}

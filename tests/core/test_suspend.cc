@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for host-initiated suspend/resume of a core-gapped CVM — one
+ * of the VM lifecycle operations section 7 credits core gapping with
+ * preserving (unlike static core slicing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/gapped_vm.hh"
+#include "sim/simulation.hh"
+#include "workloads/testbed.hh"
+
+namespace sim = cg::sim;
+namespace guest = cg::guest;
+using namespace cg::workloads;
+using cg::core::GappedVm;
+using sim::Proc;
+using sim::Tick;
+using sim::Compute;
+using sim::msec;
+
+namespace {
+
+Proc<void>
+computeAndShutdown(guest::VCpu& v, Tick work)
+{
+    co_await Compute{work};
+    co_await v.shutdown();
+}
+
+Proc<void>
+suspendThenFlag(GappedVm& g, bool& done)
+{
+    co_await g.suspend();
+    done = true;
+}
+
+} // namespace
+
+TEST(SuspendResume, GuestTimeFreezesWhileSuspended)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 4;
+    cfg.mode = RunMode::CoreGapped;
+    Testbed bed(cfg);
+    VmInstance& vm = bed.createVm("s", 3); // 2 vCPUs
+    for (int i = 0; i < 2; ++i) {
+        vm.vcpu(i).startGuest(
+            "w", computeAndShutdown(vm.vcpu(i), 200 * msec));
+    }
+    bed.spawnStart();
+    bed.run(bed.sim().now() + 60 * msec);
+    ASSERT_FALSE(bed.allShutdown());
+
+    bool suspended = false;
+    bed.sim().spawn("suspender",
+                    suspendThenFlag(*vm.gapped, suspended));
+    bed.run(bed.sim().now() + 20 * msec);
+    ASSERT_TRUE(suspended);
+    ASSERT_TRUE(vm.gapped->suspended());
+
+    // While suspended, guest CPU time does not advance at all.
+    const Tick t0 = vm.vcpu(0).guestCpuTime;
+    const Tick t1 = vm.vcpu(1).guestCpuTime;
+    bed.run(bed.sim().now() + 300 * msec);
+    EXPECT_EQ(vm.vcpu(0).guestCpuTime, t0);
+    EXPECT_EQ(vm.vcpu(1).guestCpuTime, t1);
+    EXPECT_FALSE(bed.allShutdown());
+    // The cores stay dedicated across the suspension.
+    EXPECT_EQ(bed.rmm().dedicatedOwner(vm.guestCores[0]),
+              vm.kvm->realmId());
+
+    // Resume: the guests finish their remaining work.
+    vm.gapped->resume();
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    EXPECT_TRUE(bed.allShutdown());
+    EXPECT_GE(vm.vcpu(0).guestCpuTime, 200 * msec);
+}
+
+TEST(SuspendResume, SuspendAfterPartialShutdownIsSafe)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 4;
+    cfg.mode = RunMode::CoreGapped;
+    Testbed bed(cfg);
+    VmInstance& vm = bed.createVm("s", 3);
+    // vCPU 0 finishes early; vCPU 1 runs long.
+    vm.vcpu(0).startGuest("w0",
+                          computeAndShutdown(vm.vcpu(0), 20 * msec));
+    vm.vcpu(1).startGuest("w1",
+                          computeAndShutdown(vm.vcpu(1), 400 * msec));
+    bed.spawnStart();
+    bed.run(bed.sim().now() + 100 * msec); // vCPU 0 already gone
+    bool suspended = false;
+    bed.sim().spawn("suspender",
+                    suspendThenFlag(*vm.gapped, suspended));
+    bed.run(bed.sim().now() + 20 * msec);
+    ASSERT_TRUE(suspended);
+    vm.gapped->resume();
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    EXPECT_TRUE(bed.allShutdown());
+}
+
+TEST(SuspendResume, RepeatedCycles)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 3;
+    cfg.mode = RunMode::CoreGapped;
+    Testbed bed(cfg);
+    VmInstance& vm = bed.createVm("s", 2);
+    vm.vcpu(0).startGuest("w",
+                          computeAndShutdown(vm.vcpu(0), 150 * msec));
+    bed.spawnStart();
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        bed.run(bed.sim().now() + 30 * msec);
+        if (bed.allShutdown())
+            break;
+        bool s = false;
+        bed.sim().spawn("sus", suspendThenFlag(*vm.gapped, s));
+        bed.run(bed.sim().now() + 20 * msec);
+        ASSERT_TRUE(s) << "cycle " << cycle;
+        bed.run(bed.sim().now() + 50 * msec);
+        vm.gapped->resume();
+    }
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    EXPECT_TRUE(bed.allShutdown());
+    EXPECT_GE(vm.vcpu(0).guestCpuTime, 150 * msec);
+}

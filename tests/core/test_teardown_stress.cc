@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Teardown stress: destroy the whole stack at awkward moments — mid
+ * run-call, mid page-fault RPC, mid kick — across seeds. There is
+ * nothing to assert beyond "no crash / no leak": the AddressSanitizer
+ * build is where this suite earns its keep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/gapped_vm.hh"
+#include "sim/simulation.hh"
+#include "workloads/coremark.hh"
+
+namespace sim = cg::sim;
+namespace guest = cg::guest;
+using namespace cg::workloads;
+using sim::Proc;
+using sim::Tick;
+using sim::Compute;
+using sim::msec;
+using sim::usec;
+
+namespace {
+
+Proc<void>
+noisyGuest(Testbed& bed, guest::VCpu& v, std::uint64_t ipa_base)
+{
+    co_await bed.started().wait();
+    for (int i = 0;; ++i) {
+        co_await Compute{300 * usec};
+        co_await v.pageFault(ipa_base +
+                             static_cast<std::uint64_t>(i) * 4096);
+    }
+}
+
+Proc<void>
+kickStorm(Testbed& bed, VmInstance& vm)
+{
+    co_await bed.started().wait();
+    for (;;) {
+        co_await sim::Delay{170 * usec};
+        vm.kvm->queueInjection(0, 44);
+    }
+}
+
+class TeardownStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(TeardownStress, DestroyMidFlight)
+{
+    // The cut-off time varies with the seed so destruction lands in
+    // different phases (bring-up, steady state, mid-RPC).
+    const Tick cutoff =
+        (1 + GetParam() % 23) * 3 * msec + GetParam() * 7 * usec;
+    {
+        Testbed::Config cfg;
+        cfg.numCores = 6;
+        cfg.mode = GetParam() % 2 == 0
+                       ? RunMode::CoreGapped
+                       : RunMode::CoreGappedNoDelegation;
+        cfg.seed = GetParam();
+        Testbed bed(cfg);
+        guest::VmConfig vcfg;
+        VmInstance& a = bed.createVm("a", 3, vcfg);
+        VmInstance& b = bed.createVm("b", 3, vcfg);
+        a.vcpu(0).setVirqHandler(44, [] {});
+        for (int i = 0; i < 2; ++i) {
+            a.vcpu(i).startGuest(
+                "na", noisyGuest(bed, a.vcpu(i), 0x40000000ull));
+            b.vcpu(i).startGuest(
+                "nb", noisyGuest(bed, b.vcpu(i), 0x50000000ull));
+        }
+        bed.sim().spawn("storm", kickStorm(bed, a));
+        bed.spawnStart();
+        bed.run(bed.sim().now() + cutoff);
+        // Testbed (VMs, monitors, threads, RPC slots, simulation) is
+        // destroyed right here, whatever was in flight.
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TeardownStress,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));

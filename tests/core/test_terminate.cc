@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for host-initiated termination of a running CVM (section 4.2:
+ * "terminated by the host, or because it exited gracefully"), and for
+ * the core-scrub on reclaim: a dedicated core handed back to the host
+ * must carry no guest residue — otherwise reclaiming cores would
+ * reopen the very side channel core gapping closes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/gapped_vm.hh"
+#include "sim/simulation.hh"
+#include "workloads/testbed.hh"
+
+namespace sim = cg::sim;
+namespace hw = cg::hw;
+namespace guest = cg::guest;
+using namespace cg::workloads;
+using cg::core::GappedVm;
+using sim::Proc;
+using sim::Tick;
+using sim::Compute;
+using sim::msec;
+
+namespace {
+
+Proc<void>
+endlessWork(Testbed& bed, guest::VCpu& v)
+{
+    (void)v; // the work is CPU-only; the vCPU never exits voluntarily
+    co_await bed.started().wait();
+    for (;;)
+        co_await Compute{10 * msec};
+}
+
+Proc<void>
+computeAndShutdown(Testbed& bed, guest::VCpu& v, Tick work)
+{
+    co_await bed.started().wait();
+    co_await Compute{work};
+    co_await v.shutdown();
+}
+
+Proc<void>
+terminateThenFlag(GappedVm& g, bool& done)
+{
+    co_await g.terminate();
+    done = true;
+}
+
+Proc<void>
+teardownThenFlag(GappedVm& g, bool& done)
+{
+    co_await g.teardown();
+    done = true;
+}
+
+} // namespace
+
+TEST(Terminate, HostKillsARunningCvm)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 4;
+    cfg.mode = RunMode::CoreGapped;
+    Testbed bed(cfg);
+    guest::VmConfig vcfg;
+    vcfg.footprint = 900;
+    VmInstance& vm = bed.createVm("victim-of-ops", 3, vcfg);
+    for (int i = 0; i < 2; ++i) {
+        vm.vcpu(i).startGuest("w", endlessWork(bed, vm.vcpu(i)));
+    }
+    bed.spawnStart();
+    bed.run(bed.sim().now() + 100 * msec);
+    ASSERT_FALSE(vm.kvm->shutdownGate().isOpen());
+    ASSERT_GT(vm.vcpu(0).guestCpuTime, 50 * msec);
+
+    bool done = false;
+    bed.sim().spawn("killer", terminateThenFlag(*vm.gapped, done));
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(vm.kvm->shutdownGate().isOpen());
+    // The realm is gone and every core is back with the host.
+    EXPECT_EQ(bed.rmm().realm(vm.kvm->realmId()), nullptr);
+    for (sim::CoreId c : vm.guestCores) {
+        EXPECT_TRUE(bed.kernel().isOnline(c)) << c;
+        EXPECT_EQ(bed.machine().core(c).world(), hw::World::Normal);
+        EXPECT_EQ(bed.rmm().dedicatedOwner(c), -1);
+    }
+    // The guest stopped making progress at termination.
+    const Tick frozen = vm.vcpu(0).guestCpuTime;
+    bed.run(bed.sim().now() + 100 * msec);
+    EXPECT_EQ(vm.vcpu(0).guestCpuTime, frozen);
+}
+
+TEST(Terminate, ReclaimedCoresCarryNoGuestResidue)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 4;
+    cfg.mode = RunMode::CoreGapped;
+    Testbed bed(cfg);
+    guest::VmConfig vcfg;
+    vcfg.footprint = 1000; // big working set: lots of residue
+    VmInstance& vm = bed.createVm("secretive", 3, vcfg);
+    for (int i = 0; i < 2; ++i) {
+        vm.vcpu(i).startGuest(
+            "w", computeAndShutdown(bed, vm.vcpu(i), 80 * msec));
+    }
+    bed.spawnStart();
+    bed.run(bed.sim().now() + 1 * sim::sec);
+    ASSERT_TRUE(vm.kvm->shutdownGate().isOpen());
+    // Residue exists while the cores are still dedicated...
+    bool any_residue = false;
+    for (sim::CoreId c : vm.guestCores) {
+        any_residue = any_residue ||
+                      bed.machine().core(c).uarch().l1d.entriesOf(
+                          vm.vm->domain()) > 0;
+    }
+    EXPECT_TRUE(any_residue);
+
+    bool torn = false;
+    bed.sim().spawn("teardown", teardownThenFlag(*vm.gapped, torn));
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    ASSERT_TRUE(torn);
+    // ...and none once the host owns them again (I5 across reclaim).
+    for (sim::CoreId c : vm.guestCores) {
+        for (const hw::TaggedStructure* s :
+             bed.machine().core(c).uarch().all()) {
+            EXPECT_EQ(s->entriesOf(vm.vm->domain()), 0u)
+                << "core " << c << " " << s->name();
+            EXPECT_EQ(s->entriesOf(sim::monitorDomain), 0u)
+                << "core " << c << " " << s->name();
+        }
+    }
+}
+
+TEST(Terminate, CoresAreReusableForTheNextTenant)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 4;
+    cfg.mode = RunMode::CoreGapped;
+    Testbed bed(cfg);
+    VmInstance& first = bed.createVm("first", 3);
+    for (int i = 0; i < 2; ++i)
+        first.vcpu(i).startGuest("w", endlessWork(bed, first.vcpu(i)));
+    bed.spawnStart();
+    bed.run(bed.sim().now() + 50 * msec);
+    bool done = false;
+    bed.sim().spawn("killer", terminateThenFlag(*first.gapped, done));
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    ASSERT_TRUE(done);
+
+    // A second CVM takes over the same physical cores.
+    guest::VmConfig vcfg2;
+    vcfg2.name = "second";
+    VmInstance& second = bed.createVmOn(
+        "second", first.guestCores, first.hostMask, 2, vcfg2);
+    bool finished = false;
+    struct Helper {
+        static Proc<void>
+        run(Testbed& bed, VmInstance& vm, bool& fin)
+        {
+            co_await vm.gapped->start();
+            (void)bed;
+            fin = true;
+        }
+    };
+    for (int i = 0; i < 2; ++i) {
+        second.vcpu(i).startGuest(
+            "w", computeAndShutdown(bed, second.vcpu(i), 30 * msec));
+    }
+    bed.sim().spawn("start2", Helper::run(bed, second, finished));
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    ASSERT_TRUE(finished);
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    EXPECT_TRUE(second.kvm->shutdownGate().isOpen());
+    EXPECT_EQ(bed.rmm().dedicatedOwner(first.guestCores[0]),
+              second.kvm->realmId());
+}

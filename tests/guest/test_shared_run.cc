@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Integration tests for Kernel::runGuest: guest execution gated on host
+ * thread scheduling (the shared-core baseline the paper compares
+ * against). A preempted vCPU thread must mean a paused guest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "guest/vm.hh"
+#include "host/kernel.hh"
+#include "sim/simulation.hh"
+
+namespace hw = cg::hw;
+namespace sim = cg::sim;
+namespace host = cg::host;
+using namespace cg::guest;
+using cg::rmm::ExitInfo;
+using cg::rmm::ExitReason;
+using sim::Proc;
+using sim::Tick;
+using sim::msec;
+using sim::usec;
+
+namespace {
+
+Proc<void>
+guestWork(Tick chunk, int n, int& done, Tick& finished, VCpu& vcpu)
+{
+    for (int i = 0; i < n; ++i) {
+        co_await sim::Compute{chunk};
+        ++done;
+    }
+    finished = vcpu.vm().machine().sim().now();
+}
+
+/** A KVM-like vCPU thread: run guest, collect exits, re-enter. */
+Proc<void>
+vcpuThread(host::Kernel& k, VCpu& vcpu, std::vector<ExitInfo>& exits,
+           int max_exits)
+{
+    while (static_cast<int>(exits.size()) < max_exits) {
+        co_await k.runGuest(vcpu);
+        ExitInfo e = vcpu.takeExit();
+        exits.push_back(e);
+        if (e.reason == ExitReason::Shutdown)
+            break;
+        if (e.reason == ExitReason::TimerIrq)
+            vcpu.injectVirq(hw::vtimerPpi);
+        // Small KVM handling cost per exit.
+        co_await sim::Compute{2 * usec};
+    }
+}
+
+Proc<void>
+hogLoop(Tick chunk, int iters, int& count)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await sim::Compute{chunk};
+        ++count;
+    }
+}
+
+struct SharedRunFixture : ::testing::Test {
+    sim::Simulation sim;
+    hw::MachineConfig mcfg;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<host::Kernel> kernel;
+    std::unique_ptr<Vm> vm;
+
+    VCpu&
+    boot(int cores, VmConfig cfg = {})
+    {
+        mcfg.numCores = cores;
+        machine = std::make_unique<hw::Machine>(sim, mcfg);
+        kernel = std::make_unique<host::Kernel>(*machine);
+        vm = std::make_unique<Vm>(*machine, cfg, sim::firstVmDomain);
+        return vm->vcpu(0);
+    }
+};
+
+} // namespace
+
+TEST_F(SharedRunFixture, GuestRunsInsideHostThread)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(2, cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("w", guestWork(5 * msec, 2, done, finished, vcpu));
+    std::vector<ExitInfo> exits;
+    kernel->createThread("vcpu0", vcpuThread(*kernel, vcpu, exits, 1));
+    sim.runFor(50 * msec);
+    EXPECT_EQ(done, 2);
+    EXPECT_GE(finished, 10 * msec);
+    EXPECT_LT(finished, 12 * msec); // alone on the machine: no stalls
+}
+
+TEST_F(SharedRunFixture, PreemptionPausesGuest)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(1, cfg); // single core: vCPU contends with hog
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("w", guestWork(20 * msec, 1, done, finished, vcpu));
+    std::vector<ExitInfo> exits;
+    kernel->createThread("vcpu0", vcpuThread(*kernel, vcpu, exits, 1));
+    int hog_count = 0;
+    kernel->createThread("hog", hogLoop(20 * msec, 1, hog_count));
+    sim.runFor(60 * msec);
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(hog_count, 1);
+    // Both made progress interleaved: guest took ~2x its pure time.
+    EXPECT_GE(finished, 35 * msec);
+    // The guest accounted only its own CPU time.
+    EXPECT_GE(vcpu.guestCpuTime, 20 * msec);
+    EXPECT_LT(vcpu.guestCpuTime, 22 * msec);
+}
+
+TEST_F(SharedRunFixture, TimerExitsFlowThroughKvmLoop)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 4 * msec;
+    VCpu& vcpu = boot(2, cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("w", guestWork(10 * msec, 1, done, finished, vcpu));
+    vcpu.setTickPeriod(cfg.tickPeriod);
+    std::vector<ExitInfo> exits;
+    kernel->createThread("vcpu0", vcpuThread(*kernel, vcpu, exits, 6));
+    sim.runFor(30 * msec);
+    EXPECT_EQ(done, 1);
+    // Each 4ms tick: TimerIrq exit + TimerWrite exit.
+    ASSERT_GE(exits.size(), 4u);
+    EXPECT_EQ(exits[0].reason, ExitReason::TimerIrq);
+    EXPECT_EQ(exits[1].reason, ExitReason::TimerWrite);
+    EXPECT_GE(vcpu.ticksHandled.value(), 2u);
+}
+
+TEST_F(SharedRunFixture, FifoVcpuThreadBeatsFairCompetitors)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(1, cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("w", guestWork(10 * msec, 1, done, finished, vcpu));
+    std::vector<ExitInfo> exits;
+    kernel->createThread("vcpu0", vcpuThread(*kernel, vcpu, exits, 1),
+                         host::SchedClass::Fifo);
+    int hog_count = 0;
+    kernel->createThread("hog", hogLoop(5 * msec, 4, hog_count));
+    sim.runFor(40 * msec);
+    EXPECT_EQ(done, 1);
+    // FIFO vCPU ran to completion first (~10ms), hog afterwards.
+    EXPECT_LT(finished, 12 * msec);
+}
+
+TEST_F(SharedRunFixture, HostKickEndsGuestRun)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(2, cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("w", guestWork(50 * msec, 1, done, finished, vcpu));
+    std::vector<ExitInfo> exits;
+    kernel->createThread("vcpu0", vcpuThread(*kernel, vcpu, exits, 2));
+    sim.runFor(10 * msec);
+    EXPECT_TRUE(exits.empty());
+    vcpu.forceExit(ExitReason::HostKick);
+    sim.runFor(1 * msec);
+    ASSERT_EQ(exits.size(), 1u);
+    EXPECT_EQ(exits[0].reason, ExitReason::HostKick);
+    sim.runFor(60 * msec);
+    EXPECT_EQ(done, 1); // work completed after re-entry
+}

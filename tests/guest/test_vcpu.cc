@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Unit tests for the guest vCPU model: entered/exited execution,
+ * timer tick exits, MMIO traps, WFI, virtual IPIs, and CPU accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "guest/vm.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+
+namespace hw = cg::hw;
+namespace sim = cg::sim;
+using namespace cg::guest;
+using cg::rmm::ExitInfo;
+using cg::rmm::ExitReason;
+using sim::Proc;
+using sim::Tick;
+using sim::msec;
+using sim::usec;
+using sim::nsec;
+
+namespace {
+
+/**
+ * Drives a vCPU like a (trusting) runner would: re-enters after each
+ * exit, applying a synchronous policy callback per exit. Stops after
+ * max_exits or on Shutdown.
+ */
+Proc<void>
+runner(VCpu& vcpu, sim::CoreId core, std::vector<ExitInfo>& exits,
+       int max_exits, std::function<void(const ExitInfo&)> policy)
+{
+    while (static_cast<int>(exits.size()) < max_exits) {
+        ExitInfo e = co_await vcpu.runUntilExit(core);
+        exits.push_back(e);
+        if (policy)
+            policy(e);
+        if (e.reason == ExitReason::Shutdown)
+            break;
+    }
+}
+
+Proc<void>
+computeChunks(VCpu& vcpu, Tick chunk, int n, int& done, Tick& finished)
+{
+    for (int i = 0; i < n; ++i) {
+        co_await sim::Compute{chunk};
+        ++done;
+    }
+    finished = vcpu.vm().machine().sim().now();
+}
+
+Proc<void>
+doMmioWrite(VCpu& vcpu, bool& completed)
+{
+    co_await vcpu.mmioWrite(0x9000000, 0xff, 4);
+    completed = true;
+}
+
+Proc<void>
+doMmioRead(VCpu& vcpu, std::uint64_t& value)
+{
+    value = co_await vcpu.mmioRead(0x9000008, 4);
+}
+
+Proc<void>
+idleLoop(VCpu& vcpu, int& wakeups, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await vcpu.idle();
+        ++wakeups;
+    }
+}
+
+Proc<void>
+sendIpiThenFlag(VCpu& vcpu, int target, bool& sent)
+{
+    co_await vcpu.sendVIpi(target);
+    sent = true;
+}
+
+Proc<void>
+shutdownAfter(VCpu& vcpu, Tick work)
+{
+    co_await sim::Compute{work};
+    co_await vcpu.shutdown();
+}
+
+struct VCpuFixture : ::testing::Test {
+    sim::Simulation sim;
+    hw::MachineConfig mcfg;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<Vm> vm;
+
+    VCpu&
+    boot(VmConfig cfg = {})
+    {
+        mcfg.numCores = 4;
+        machine = std::make_unique<hw::Machine>(sim, mcfg);
+        vm = std::make_unique<Vm>(*machine, cfg, sim::firstVmDomain);
+        return vm->vcpu(0);
+    }
+};
+
+} // namespace
+
+TEST_F(VCpuFixture, GuestAdvancesOnlyWhileEntered)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0; // no tick noise
+    VCpu& vcpu = boot(cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("work", computeChunks(vcpu, 1 * msec, 3, done,
+                                          finished));
+    // Nobody entered the vCPU: no progress, ever.
+    sim.runFor(100 * msec);
+    EXPECT_EQ(done, 0);
+
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 1, nullptr));
+    sim.runFor(10 * msec);
+    EXPECT_EQ(done, 3);
+    EXPECT_GE(finished, 100 * msec + 3 * msec);
+    EXPECT_GE(vcpu.guestCpuTime, 3 * msec);
+}
+
+TEST_F(VCpuFixture, TickGeneratesTimerIrqThenTimerWriteExit)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 4 * msec;
+    VCpu& vcpu = boot(cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("work",
+                    computeChunks(vcpu, 20 * msec, 1, done, finished));
+    vcpu.setTickPeriod(cfg.tickPeriod);
+
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner",
+              runner(vcpu, 1, exits, 4, [&](const ExitInfo& e) {
+                  if (e.reason == ExitReason::TimerIrq)
+                      vcpu.injectVirq(hw::vtimerPpi);
+              }));
+    sim.runFor(11 * msec);
+    // Two ticks elapsed: each is a TimerIrq exit followed by a
+    // TimerWrite exit (the reprogramming trap) = the two-exits-per-tick
+    // behaviour of section 4.4.
+    ASSERT_GE(exits.size(), 4u);
+    EXPECT_EQ(exits[0].reason, ExitReason::TimerIrq);
+    EXPECT_EQ(exits[1].reason, ExitReason::TimerWrite);
+    EXPECT_EQ(exits[2].reason, ExitReason::TimerIrq);
+    EXPECT_EQ(exits[3].reason, ExitReason::TimerWrite);
+    EXPECT_EQ(vcpu.ticksHandled.value(), 2u);
+}
+
+TEST_F(VCpuFixture, TickHandlingStealsGuestCpu)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 4 * msec;
+    VCpu& vcpu = boot(cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("work",
+                    computeChunks(vcpu, 10 * msec, 1, done, finished));
+    vcpu.setTickPeriod(cfg.tickPeriod);
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner",
+              runner(vcpu, 1, exits, 100, [&](const ExitInfo& e) {
+                  if (e.reason == ExitReason::TimerIrq)
+                      vcpu.injectVirq(hw::vtimerPpi);
+              }));
+    sim.runFor(50 * msec);
+    EXPECT_EQ(done, 1);
+    // 10ms of work + 2 tick handlers pushed completion past 10ms.
+    EXPECT_GT(finished, 10 * msec);
+}
+
+TEST_F(VCpuFixture, MmioWriteTrapsAndResumesOnReentry)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    bool completed = false;
+    vcpu.startGuest("drv", doMmioWrite(vcpu, completed));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 1, nullptr));
+    sim.run();
+    ASSERT_EQ(exits.size(), 1u);
+    EXPECT_EQ(exits[0].reason, ExitReason::Mmio);
+    EXPECT_EQ(exits[0].addr, 0x9000000u);
+    EXPECT_EQ(exits[0].data, 0xffu);
+    EXPECT_TRUE(exits[0].isWrite);
+    // The instruction has not retired yet (no re-entry).
+    EXPECT_FALSE(completed);
+    std::vector<ExitInfo> more;
+    sim.spawn("runner2", runner(vcpu, 1, more, 1, nullptr));
+    sim.runFor(1 * msec);
+    EXPECT_TRUE(completed);
+}
+
+TEST_F(VCpuFixture, MmioReadDeliversResponse)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    std::uint64_t value = 0;
+    vcpu.startGuest("drv", doMmioRead(vcpu, value));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 2, [&](const ExitInfo& e) {
+        if (e.reason == ExitReason::Mmio && !e.isWrite)
+            vcpu.completeMmio(0xdeadbeef);
+    }));
+    sim.run();
+    ASSERT_GE(exits.size(), 1u);
+    EXPECT_EQ(exits[0].reason, ExitReason::Mmio);
+    EXPECT_FALSE(exits[0].isWrite);
+    EXPECT_EQ(value, 0xdeadbeefu);
+}
+
+TEST_F(VCpuFixture, WfiExitsAndVirqWakes)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    int wakeups = 0;
+    vcpu.startGuest("idler", idleLoop(vcpu, wakeups, 1));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 3, nullptr));
+    sim.runFor(1 * msec);
+    // The explicit WFI plus possibly the idle-loop's own WFI.
+    ASSERT_GE(exits.size(), 1u);
+    for (const ExitInfo& e : exits)
+        EXPECT_EQ(e.reason, ExitReason::Wfi);
+    EXPECT_EQ(wakeups, 0);
+    // Inject a device interrupt and re-enter: the idler wakes.
+    vcpu.injectVirq(40);
+    sim.run();
+    EXPECT_EQ(wakeups, 1);
+    EXPECT_EQ(vcpu.virqsHandled.value(), 1u);
+}
+
+TEST_F(VCpuFixture, SendVIpiTrapsWithTarget)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    cfg.numVcpus = 2;
+    VCpu& vcpu = boot(cfg);
+    bool sent = false;
+    vcpu.startGuest("sender", sendIpiThenFlag(vcpu, 1, sent));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 0, exits, 1, nullptr));
+    sim.run();
+    ASSERT_EQ(exits.size(), 1u);
+    EXPECT_EQ(exits[0].reason, ExitReason::SgiWrite);
+    EXPECT_EQ(exits[0].target, 1);
+    EXPECT_FALSE(sent); // trap not yet retired
+    std::vector<ExitInfo> more;
+    sim.spawn("runner2", runner(vcpu, 0, more, 1, nullptr));
+    sim.runFor(1 * msec);
+    EXPECT_TRUE(sent);
+}
+
+TEST_F(VCpuFixture, ForceExitPausesAndPreservesWork)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("work",
+                    computeChunks(vcpu, 10 * msec, 1, done, finished));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 2, exits, 2, nullptr));
+    sim.runFor(4 * msec);
+    vcpu.forceExit(ExitReason::HostKick); // host kick mid-compute
+    sim.run();
+    EXPECT_EQ(done, 1);
+    ASSERT_GE(exits.size(), 1u);
+    EXPECT_EQ(exits[0].reason, ExitReason::HostKick);
+    // Work completed despite the interruption, duration >= pure work.
+    EXPECT_GE(finished, 10 * msec);
+    EXPECT_GE(vcpu.guestCpuTime, 10 * msec);
+    EXPECT_LT(vcpu.guestCpuTime, 11 * msec);
+}
+
+TEST_F(VCpuFixture, WaitForEventWakesOnTimerWhileExited)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    vcpu.setTickPeriod(5 * msec); // timer armed, vCPU never entered
+    bool woke = false;
+    sim.spawn("waiter", [](VCpu& v, bool& w) -> Proc<void> {
+        co_await v.waitForEvent();
+        w = true;
+    }(vcpu, woke));
+    sim.runFor(4 * msec);
+    EXPECT_FALSE(woke);
+    sim.runFor(2 * msec);
+    EXPECT_TRUE(woke);
+    EXPECT_TRUE(vcpu.hasPendingEvent());
+}
+
+TEST_F(VCpuFixture, VirqHandlerCallbackRuns)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    int handler_calls = 0;
+    vcpu.setVirqHandler(45, [&] { ++handler_calls; });
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("work",
+                    computeChunks(vcpu, 20 * msec, 1, done, finished));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 1, nullptr));
+    sim.runFor(5 * msec);
+    vcpu.injectVirq(45); // delivered while entered: handled immediately
+    sim.runFor(1 * msec);
+    EXPECT_EQ(handler_calls, 1);
+    sim.run();
+    EXPECT_EQ(done, 1);
+}
+
+TEST_F(VCpuFixture, ShutdownExitStopsFurtherEntries)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    vcpu.startGuest("w", shutdownAfter(vcpu, 1 * msec));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 5, nullptr));
+    sim.run();
+    ASSERT_GE(exits.size(), 1u);
+    EXPECT_EQ(exits.back().reason, ExitReason::Shutdown);
+    // Re-entering a stopped vCPU immediately reports Shutdown.
+    std::vector<ExitInfo> more;
+    sim.spawn("runner2", runner(vcpu, 1, more, 1, nullptr));
+    sim.run();
+    ASSERT_EQ(more.size(), 1u);
+    EXPECT_EQ(more[0].reason, ExitReason::Shutdown);
+}
+
+TEST_F(VCpuFixture, WarmupChargedAfterPollution)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    cfg.footprint = 512;
+    VCpu& vcpu = boot(cfg);
+    int done = 0;
+    Tick finished = 0;
+    vcpu.startGuest("w", computeChunks(vcpu, 1 * msec, 5, done, finished));
+    // Pollute core 1 with host state first.
+    machine->core(1).uarch().run(sim::hostDomain, 100000);
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 1, nullptr));
+    sim.run();
+    EXPECT_EQ(done, 5);
+    // Finished later than pure compute because of cold structures.
+    EXPECT_GT(finished, 5 * msec + 1 * cg::sim::usec);
+}
+
+TEST_F(VCpuFixture, TwoGuestProcsShareTheVcpuCooperatively)
+{
+    VmConfig cfg;
+    cfg.tickPeriod = 0;
+    VCpu& vcpu = boot(cfg);
+    int done_a = 0, done_b = 0;
+    Tick fin_a = 0, fin_b = 0;
+    vcpu.startGuest("a", computeChunks(vcpu, 2 * msec, 2, done_a, fin_a));
+    vcpu.startGuest("b", computeChunks(vcpu, 2 * msec, 2, done_b, fin_b));
+    std::vector<ExitInfo> exits;
+    sim.spawn("runner", runner(vcpu, 1, exits, 1, nullptr));
+    sim.runFor(20 * msec);
+    EXPECT_EQ(done_a, 2);
+    EXPECT_EQ(done_b, 2);
+    // Serialised on one vCPU: total is at least the sum of work.
+    EXPECT_GE(std::max(fin_a, fin_b), 8 * msec);
+}

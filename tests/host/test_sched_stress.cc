@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Randomized stress test of the host kernel: a churn of threads with
+ * random scheduling classes, affinities, compute/sleep/yield patterns,
+ * IPIs, and hotplug events. The invariant is simply that everything
+ * completes and every thread receives at least the CPU time it asked
+ * for (work conservation under preemption and migration).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/kernel.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+
+namespace hw = cg::hw;
+namespace sim = cg::sim;
+using namespace cg::host;
+using sim::Proc;
+using sim::Tick;
+using sim::Compute;
+using sim::Delay;
+using sim::msec;
+using sim::usec;
+
+namespace {
+
+struct WorkLog {
+    Tick requested = 0;
+    Tick startedAt = 0;
+    Tick finishedAt = 0;
+    bool done = false;
+};
+
+Proc<void>
+churnThread(Kernel& k, sim::Rng rng, WorkLog& log, sim::Simulation& s)
+{
+    log.startedAt = s.now();
+    const int rounds = static_cast<int>(rng.uniformInt(5, 25));
+    for (int i = 0; i < rounds; ++i) {
+        switch (rng.uniformInt(0, 2)) {
+          case 0: {
+            const Tick work =
+                rng.uniformInt(50, 4000) * usec;
+            log.requested += work;
+            co_await Compute{work};
+            break;
+          }
+          case 1:
+            co_await Delay{rng.uniformInt(10, 2000) * usec};
+            break;
+          case 2:
+            co_await Compute{rng.uniformInt(5, 50) * usec};
+            log.requested += 0; // yield spin, unaccounted
+            co_await k.yield();
+            break;
+        }
+    }
+    log.finishedAt = s.now();
+    log.done = true;
+}
+
+Proc<void>
+hotplugChurn(Kernel& k, sim::Rng rng, int rounds, bool& done)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await Delay{rng.uniformInt(1, 8) * msec};
+        // Toggle one of cores 2..3; core 0..1 stay up for the churn.
+        const sim::CoreId c =
+            static_cast<sim::CoreId>(rng.uniformInt(2, 3));
+        if (k.isOnline(c)) {
+            if (k.onlineCount() > 2)
+                co_await k.offlineCore(c);
+        } else {
+            co_await k.onlineCore(c);
+        }
+    }
+    // Leave everything online for the drain phase.
+    for (sim::CoreId c = 0; c < 4; ++c) {
+        if (!k.isOnline(c))
+            co_await k.onlineCore(c);
+    }
+    done = true;
+}
+
+class SchedStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(SchedStress, EverythingCompletesUnderChurn)
+{
+    sim::Simulation s(GetParam());
+    hw::MachineConfig mcfg;
+    mcfg.numCores = 4;
+    hw::Machine machine(s, mcfg);
+    Kernel kernel(machine);
+    sim::Rng rng(GetParam() * 77 + 1);
+
+    constexpr int numThreads = 24;
+    std::vector<std::unique_ptr<WorkLog>> logs;
+    for (int i = 0; i < numThreads; ++i) {
+        logs.push_back(std::make_unique<WorkLog>());
+        const SchedClass cls =
+            rng.chance(0.25) ? SchedClass::Fifo : SchedClass::Fair;
+        // Random affinity over cores 0..3, never empty; hotplug churn
+        // may still break it, as in Linux.
+        CpuMask mask(rng.uniformInt(1, 15));
+        kernel.createThread(sim::strFormat("churn%d", i),
+                            churnThread(kernel, rng.fork(), *logs[i],
+                                        s),
+                            cls, mask);
+    }
+    bool hotplug_done = false;
+    kernel.createThread("hotplug",
+                        hotplugChurn(kernel, rng.fork(), 10,
+                                     hotplug_done),
+                        SchedClass::Fair, CpuMask::firstN(2));
+    const int ipi = kernel.allocateIpi();
+    int ipi_count = 0;
+    kernel.setIpiHandler(ipi, [&ipi_count](sim::CoreId) {
+        ++ipi_count;
+    });
+    for (int i = 0; i < 50; ++i) {
+        s.queue().schedule(
+            rng.uniformInt(1, 40) * msec,
+            [&kernel, &rng, ipi] {
+                for (sim::CoreId c = 0; c < 4; ++c) {
+                    if (kernel.isOnline(c) && rng.chance(0.5))
+                        kernel.sendIpi(c, ipi);
+                }
+            });
+    }
+
+    s.run(120 * sim::sec);
+    EXPECT_TRUE(hotplug_done);
+    for (int i = 0; i < numThreads; ++i) {
+        ASSERT_TRUE(logs[i]->done) << "thread " << i << " stuck";
+        // Work conservation: elapsed wall time covers requested CPU.
+        EXPECT_GE(logs[i]->finishedAt - logs[i]->startedAt,
+                  logs[i]->requested)
+            << "thread " << i;
+    }
+    EXPECT_GT(ipi_count, 0);
+    EXPECT_GT(kernel.stats().contextSwitches.value(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedStress,
+                         ::testing::Values(101u, 202u, 303u, 404u,
+                                           505u));

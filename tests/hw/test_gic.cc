@@ -1,0 +1,141 @@
+/** @file Unit tests for the GIC model and list registers. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hw/gic.hh"
+#include "sim/simulation.hh"
+
+using namespace cg::hw;
+using cg::sim::Simulation;
+using cg::sim::Tick;
+using cg::sim::usec;
+
+namespace {
+
+struct GicFixture : ::testing::Test {
+    Simulation sim;
+    Costs costs;
+    Gic gic{sim, costs, 4};
+};
+
+} // namespace
+
+TEST_F(GicFixture, SgiDeliveredToSinkAfterLatency)
+{
+    std::vector<IntId> got;
+    Tick when = 0;
+    gic.setSink(1, [&](IntId id) {
+        got.push_back(id);
+        when = sim.now();
+    });
+    gic.sendSgi(1, 8);
+    sim.run();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 8);
+    EXPECT_GT(when, 0u);
+    EXPECT_LT(when, 2 * usec);
+}
+
+TEST_F(GicFixture, InterruptsPendWithoutSinkAndFlushOnInstall)
+{
+    gic.sendSgi(2, 5);
+    gic.sendSgi(2, 6);
+    sim.run();
+    std::vector<IntId> got;
+    gic.setSink(2, [&](IntId id) { got.push_back(id); });
+    // Delivery latency is jittered, so arrival order is unspecified.
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (std::vector<IntId>{5, 6}));
+}
+
+TEST_F(GicFixture, ClearSinkPendsSubsequentDeliveries)
+{
+    std::vector<IntId> got;
+    gic.setSink(0, [&](IntId id) { got.push_back(id); });
+    gic.clearSink(0);
+    gic.raisePpi(0, vtimerPpi);
+    sim.run();
+    EXPECT_TRUE(got.empty());
+    gic.setSink(0, [&](IntId id) { got.push_back(id); });
+    EXPECT_EQ(got, (std::vector<IntId>{vtimerPpi}));
+}
+
+TEST_F(GicFixture, SpiRoutingAndRetargeting)
+{
+    EXPECT_EQ(gic.spiRoute(40), 0); // default route
+    gic.routeSpi(40, 3);
+    EXPECT_EQ(gic.spiRoute(40), 3);
+    std::vector<IntId> got;
+    gic.setSink(3, [&](IntId id) { got.push_back(id); });
+    gic.raiseSpi(40);
+    sim.run();
+    EXPECT_EQ(got, (std::vector<IntId>{40}));
+}
+
+TEST_F(GicFixture, MigrateSpisAwayForHotplug)
+{
+    gic.routeSpi(33, 2);
+    gic.routeSpi(34, 2);
+    gic.routeSpi(35, 1);
+    gic.migrateSpisAway(2, 0);
+    EXPECT_EQ(gic.spiRoute(33), 0);
+    EXPECT_EQ(gic.spiRoute(34), 0);
+    EXPECT_EQ(gic.spiRoute(35), 1);
+}
+
+TEST_F(GicFixture, DeliveredCountAccumulates)
+{
+    gic.setSink(0, [](IntId) {});
+    gic.sendSgi(0, 1);
+    gic.sendSgi(0, 2);
+    gic.raisePpi(0, ptimerPpi);
+    sim.run();
+    EXPECT_EQ(gic.delivered(), 3u);
+}
+
+TEST(ListRegFile, InjectUsesFreeSlot)
+{
+    ListRegFile lrs;
+    EXPECT_TRUE(lrs.inject(27));
+    EXPECT_EQ(lrs.validCount(), 1);
+    auto idx = lrs.findVintid(27);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(lrs.reg(*idx).state, ListReg::State::Pending);
+}
+
+TEST(ListRegFile, ReinjectOnActiveBecomesPendingActive)
+{
+    ListRegFile lrs;
+    lrs.inject(30);
+    auto idx = lrs.findVintid(30);
+    ASSERT_TRUE(idx.has_value());
+    lrs.reg(*idx).state = ListReg::State::Active; // guest acked it
+    EXPECT_TRUE(lrs.inject(30));
+    EXPECT_EQ(lrs.reg(*idx).state, ListReg::State::PendingActive);
+    EXPECT_EQ(lrs.validCount(), 1); // reused, not duplicated
+}
+
+TEST(ListRegFile, FullFileRejectsInjection)
+{
+    ListRegFile lrs;
+    for (int i = 0; i < ListRegFile::numRegs; ++i)
+        EXPECT_TRUE(lrs.inject(32 + i));
+    EXPECT_FALSE(lrs.findFree().has_value());
+    EXPECT_FALSE(lrs.inject(99));
+    EXPECT_TRUE(lrs.inject(33)); // existing vintid still fine
+}
+
+TEST(ListRegFile, PendingIdsAndClear)
+{
+    ListRegFile lrs;
+    lrs.inject(27);
+    lrs.inject(40);
+    auto idx = lrs.findVintid(27);
+    lrs.reg(*idx).state = ListReg::State::Active;
+    EXPECT_EQ(lrs.pendingIds(), (std::vector<IntId>{40}));
+    lrs.clearAll();
+    EXPECT_EQ(lrs.validCount(), 0);
+}

@@ -1,0 +1,144 @@
+/** @file Unit tests for tagged microarchitectural structures. */
+
+#include <gtest/gtest.h>
+
+#include "hw/uarch.hh"
+
+using namespace cg::hw;
+using cg::sim::DomainId;
+using cg::sim::Tick;
+using cg::sim::nsec;
+
+namespace {
+constexpr DomainId host = cg::sim::hostDomain;
+constexpr DomainId vmA = cg::sim::firstVmDomain;
+constexpr DomainId vmB = cg::sim::firstVmDomain + 1;
+} // namespace
+
+TEST(TaggedStructure, TouchFillsUpToWorkingSet)
+{
+    TaggedStructure s("t", 1000, 1 * nsec);
+    s.touch(vmA, 300);
+    EXPECT_EQ(s.entriesOf(vmA), 300u);
+    EXPECT_EQ(s.used(), 300u);
+    s.touch(vmA, 200); // smaller re-touch keeps resident entries
+    EXPECT_EQ(s.entriesOf(vmA), 300u);
+}
+
+TEST(TaggedStructure, WorkingSetClampedToCapacity)
+{
+    TaggedStructure s("t", 100, 1 * nsec);
+    s.touch(vmA, 100000);
+    EXPECT_EQ(s.entriesOf(vmA), 100u);
+    EXPECT_EQ(s.used(), 100u);
+}
+
+TEST(TaggedStructure, OverflowEvictsOtherDomains)
+{
+    TaggedStructure s("t", 100, 1 * nsec);
+    s.touch(vmA, 80);
+    s.touch(vmB, 60);
+    EXPECT_EQ(s.used(), 100u);
+    EXPECT_EQ(s.entriesOf(vmB), 60u);
+    EXPECT_EQ(s.entriesOf(vmA), 40u); // lost 40 to vmB
+}
+
+TEST(TaggedStructure, ProportionalEvictionAcrossVictims)
+{
+    TaggedStructure s("t", 100, 1 * nsec);
+    s.touch(vmA, 50);
+    s.touch(vmB, 50);
+    s.touch(host, 50); // evict 50 split across vmA and vmB
+    EXPECT_EQ(s.entriesOf(host), 50u);
+    EXPECT_EQ(s.entriesOf(vmA) + s.entriesOf(vmB), 50u);
+    EXPECT_LE(s.used(), 100u);
+    // Roughly even split.
+    EXPECT_NEAR(static_cast<double>(s.entriesOf(vmA)), 25.0, 2.0);
+}
+
+TEST(TaggedStructure, ForeignEntriesVisibleToProber)
+{
+    TaggedStructure s("t", 1000, 1 * nsec);
+    s.touch(vmA, 400);
+    s.touch(host, 100);
+    EXPECT_EQ(s.foreignEntries(host), 400u);
+    EXPECT_EQ(s.foreignEntries(vmA), 100u);
+    EXPECT_EQ(s.victimEntries(vmA), 400u);
+}
+
+TEST(TaggedStructure, FlushAllClearsEverything)
+{
+    TaggedStructure s("t", 1000, 1 * nsec);
+    s.touch(vmA, 400);
+    s.touch(host, 100);
+    s.flushAll();
+    EXPECT_EQ(s.used(), 0u);
+    EXPECT_EQ(s.foreignEntries(host), 0u);
+}
+
+TEST(TaggedStructure, FlushDomainIsTargeted)
+{
+    TaggedStructure s("t", 1000, 1 * nsec);
+    s.touch(vmA, 400);
+    s.touch(host, 100);
+    s.flushDomain(vmA);
+    EXPECT_EQ(s.entriesOf(vmA), 0u);
+    EXPECT_EQ(s.entriesOf(host), 100u);
+    EXPECT_EQ(s.used(), 100u);
+}
+
+TEST(TaggedStructure, WarmupCostProportionalToMissingEntries)
+{
+    TaggedStructure s("t", 1000, 2 * nsec);
+    EXPECT_EQ(s.warmupCost(vmA, 500), 1000 * nsec); // all cold
+    s.touch(vmA, 500);
+    EXPECT_EQ(s.warmupCost(vmA, 500), 0u); // fully warm
+    s.touch(host, 800);                    // pollutes vmA
+    const Tick cost = s.warmupCost(vmA, 500);
+    EXPECT_GT(cost, 0u);
+    EXPECT_LE(cost, 1000 * nsec);
+}
+
+TEST(TaggedStructure, WarmupCostClampedToCapacity)
+{
+    TaggedStructure s("t", 100, 1 * nsec);
+    EXPECT_EQ(s.warmupCost(vmA, 100000), 100 * nsec);
+}
+
+TEST(CoreUarch, MitigationFlushSparesCachesAndTlb)
+{
+    Costs costs;
+    CoreUarch u(costs);
+    u.run(vmA, 512);
+    EXPECT_GT(u.btb.entriesOf(vmA), 0u);
+    EXPECT_GT(u.l1d.entriesOf(vmA), 0u);
+    u.mitigationFlush();
+    // The firmware flush clears predictors and buffers...
+    EXPECT_EQ(u.btb.entriesOf(vmA), 0u);
+    EXPECT_EQ(u.storeBuffer.entriesOf(vmA), 0u);
+    // ...but residue remains in caches and TLB (the motivating leak).
+    EXPECT_GT(u.l1d.entriesOf(vmA), 0u);
+    EXPECT_GT(u.tlb.entriesOf(vmA), 0u);
+}
+
+TEST(CoreUarch, WarmupGrowsWithPollution)
+{
+    Costs costs;
+    CoreUarch u(costs);
+    u.run(vmA, 800);
+    const Tick warm = u.warmupCost(vmA, 800);
+    EXPECT_EQ(warm, 0u);
+    u.run(cg::sim::hostDomain, 900); // host runs, evicting guest state
+    const Tick after = u.warmupCost(vmA, 800);
+    EXPECT_GT(after, warm);
+}
+
+TEST(SharedUarch, HasLlcAndStagingBuffer)
+{
+    Costs costs;
+    SharedUarch s(costs);
+    s.llc.touch(vmA, 10000);
+    EXPECT_GT(s.llc.entriesOf(vmA), 0u);
+    s.stagingBuffer.touch(vmA, 16);
+    EXPECT_EQ(s.stagingBuffer.entriesOf(vmA), 16u);
+}

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Property-based and parameterized sweeps over the whole stack:
+ * DESIGN.md's invariants checked across configurations and random
+ * operation sequences (TEST_P / INSTANTIATE_TEST_SUITE_P).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "attacks/lab.hh"
+#include "rmm/granule.hh"
+#include "rmm/rtt.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "workloads/coremark.hh"
+
+namespace sim = cg::sim;
+namespace guest = cg::guest;
+namespace host = cg::host;
+namespace rmm = cg::rmm;
+namespace hw = cg::hw;
+using namespace cg::workloads;
+using sim::Tick;
+using sim::msec;
+
+// ------------------------------------------------------- per-mode sweeps
+
+namespace {
+
+struct ModeCase {
+    RunMode mode;
+};
+
+class AllModes : public ::testing::TestWithParam<ModeCase>
+{
+};
+
+CoreMarkPro::Result
+runCoreMark(RunMode mode, std::uint64_t seed, Testbed** out_bed,
+            Tick duration = 250 * msec)
+{
+    static std::unique_ptr<Testbed> keeper;
+    Testbed::Config cfg;
+    cfg.numCores = 6;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    keeper = std::make_unique<Testbed>(cfg);
+    Testbed& bed = *keeper;
+    VmInstance& vm = bed.createVm("cm", 4);
+    CoreMarkPro::Config wcfg;
+    wcfg.duration = duration;
+    CoreMarkPro cm(bed, vm, wcfg);
+    cm.install();
+    bed.spawnStart();
+    bed.run(duration + 3 * sim::sec);
+    if (out_bed)
+        *out_bed = &bed;
+    return cm.result();
+}
+
+} // namespace
+
+TEST_P(AllModes, WorkloadCompletesAndScoresSanely)
+{
+    Testbed* bed = nullptr;
+    CoreMarkPro::Result r = runCoreMark(GetParam().mode, 1, &bed);
+    ASSERT_NE(bed, nullptr);
+    EXPECT_TRUE(bed->allShutdown()) << runModeName(GetParam().mode);
+    EXPECT_GT(r.score, 0.0);
+    // Score bounded by the hardware: at most vCPUs/iterationWork.
+    const int vcpus = bed->vmAt(0).numVcpus();
+    const double upper = static_cast<double>(vcpus) / 250e-6;
+    EXPECT_LE(r.score, upper * 1.01);
+}
+
+TEST_P(AllModes, DeterministicAcrossReplays)
+{
+    // Invariant I9: identical seed => identical simulation.
+    CoreMarkPro::Result a = runCoreMark(GetParam().mode, 7, nullptr);
+    CoreMarkPro::Result b = runCoreMark(GetParam().mode, 7, nullptr);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST_P(AllModes, ExitAccountingIsConsistent)
+{
+    Testbed* bed = nullptr;
+    runCoreMark(GetParam().mode, 3, &bed);
+    auto& kvm = *bed->vmAt(0).kvm;
+    EXPECT_LE(kvm.stats().irqRelatedExits.value(),
+              kvm.stats().exits.value());
+    if (GetParam().mode != RunMode::SharedCore) {
+        EXPECT_LE(bed->rmm().stats().irqRelatedExitsToHost.value(),
+                  bed->rmm().stats().exitsToHost.value());
+    }
+}
+
+TEST_P(AllModes, GappedModesNeverRunGuestOffItsBoundCore)
+{
+    const RunMode mode = GetParam().mode;
+    if (!isGapped(mode))
+        GTEST_SKIP() << "binding only enforced when core-gapped";
+    // Invariant I1, probed from outside: after the run, every REC's
+    // binding matches the configured dedicated core and no dispatch
+    // was ever rejected (the runner always used the right core).
+    Testbed* bed = nullptr;
+    runCoreMark(mode, 5, &bed);
+    VmInstance& vm = bed->vmAt(0);
+    for (int i = 0; i < vm.numVcpus(); ++i) {
+        EXPECT_EQ(bed->rmm().recBinding(vm.kvm->realmId(), i),
+                  vm.guestCores[static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(bed->rmm().stats().wrongCoreRejections.value(), 0u);
+    // And the dispatch check rejects every other core (WrongCore
+    // while bound; BadState once the REC has stopped — never Success).
+    for (sim::CoreId c = 0; c < bed->machine().numCores(); ++c) {
+        if (c == vm.guestCores[0])
+            continue;
+        EXPECT_NE(bed->rmm().recEnterCheck(vm.kvm->realmId(), 0, c),
+                  rmm::RmiStatus::Success)
+            << "core " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AllModes,
+    ::testing::Values(ModeCase{RunMode::SharedCore},
+                      ModeCase{RunMode::SharedCoreCvm},
+                      ModeCase{RunMode::CoreGapped},
+                      ModeCase{RunMode::CoreGappedBusyWait},
+                      ModeCase{RunMode::CoreGappedNoDelegation}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+        std::string n = runModeName(info.param.mode);
+        for (char& c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+// ------------------------------------------------------ leakage property
+
+namespace {
+
+class GappedModes : public ::testing::TestWithParam<ModeCase>
+{
+};
+
+} // namespace
+
+TEST_P(GappedModes, NoSameCoreResidueEver)
+{
+    // Invariant I5 swept across every gapped variant: regardless of
+    // delegation or polling strategy, an attacker VM observes zero
+    // victim residue on per-core structures.
+    Testbed::Config cfg;
+    cfg.numCores = 6;
+    cfg.mode = GetParam().mode;
+    Testbed bed(cfg);
+    guest::VmConfig vcfg;
+    vcfg.footprint = 800;
+    VmInstance& victim = bed.createVm("victim", 3, vcfg);
+    VmInstance& attacker = bed.createVm("attacker", 3, vcfg);
+    CoreMarkPro::Config wcfg;
+    wcfg.duration = 150 * msec;
+    CoreMarkPro work(bed, victim, wcfg);
+    work.install();
+    cg::attacks::AttackLab::Config acfg;
+    acfg.duration = 150 * msec;
+    cg::attacks::AttackLab lab(bed, attacker, victim.vm->domain(),
+                               acfg);
+    lab.install();
+    bed.spawnStart();
+    bed.run(5 * sim::sec);
+    EXPECT_FALSE(lab.report().anySameCoreLeak());
+    EXPECT_GT(lab.report().at(cg::attacks::Channel::L1d).probes, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gapped, GappedModes,
+    ::testing::Values(ModeCase{RunMode::CoreGapped},
+                      ModeCase{RunMode::CoreGappedBusyWait},
+                      ModeCase{RunMode::CoreGappedNoDelegation}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+        std::string n = runModeName(info.param.mode);
+        for (char& c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+// ------------------------------------------------------- granule fuzzing
+
+namespace {
+
+class GranuleFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(GranuleFuzz, StateMachineInvariantsUnderRandomOps)
+{
+    sim::Rng rng(GetParam());
+    rmm::GranuleTracker g;
+    // Shadow model: what we believe each granule's state is.
+    std::map<rmm::PhysAddr, rmm::GranuleState> shadow;
+    const auto addr_of = [&rng] {
+        return (rng.uniformInt(0, 63)) * rmm::granuleSize;
+    };
+    for (int step = 0; step < 5000; ++step) {
+        const rmm::PhysAddr a = addr_of();
+        const auto cur = shadow.count(a)
+                             ? shadow[a]
+                             : rmm::GranuleState::Undelegated;
+        switch (rng.uniformInt(0, 3)) {
+          case 0: {
+            const auto s = g.delegate(a);
+            if (cur == rmm::GranuleState::Undelegated) {
+                ASSERT_EQ(s, rmm::RmiStatus::Success);
+                shadow[a] = rmm::GranuleState::Delegated;
+            } else {
+                ASSERT_NE(s, rmm::RmiStatus::Success);
+            }
+            break;
+          }
+          case 1: {
+            const auto s = g.undelegate(a);
+            if (cur == rmm::GranuleState::Delegated) {
+                ASSERT_EQ(s, rmm::RmiStatus::Success);
+                shadow.erase(a);
+            } else {
+                ASSERT_NE(s, rmm::RmiStatus::Success);
+            }
+            break;
+          }
+          case 2: {
+            const auto s = g.assign(a, rmm::GranuleState::Data, 1);
+            if (cur == rmm::GranuleState::Delegated) {
+                ASSERT_EQ(s, rmm::RmiStatus::Success);
+                shadow[a] = rmm::GranuleState::Data;
+            } else {
+                ASSERT_NE(s, rmm::RmiStatus::Success);
+            }
+            break;
+          }
+          case 3: {
+            const auto s =
+                g.release(a, rmm::GranuleState::Data, 1);
+            if (cur == rmm::GranuleState::Data) {
+                ASSERT_EQ(s, rmm::RmiStatus::Success);
+                shadow[a] = rmm::GranuleState::Delegated;
+            } else {
+                ASSERT_NE(s, rmm::RmiStatus::Success);
+            }
+            break;
+          }
+        }
+        // Invariant I4 at every step: only undelegated granules are
+        // host-accessible.
+        ASSERT_EQ(g.hostAccessible(a),
+                  g.stateOf(a) == rmm::GranuleState::Undelegated);
+        ASSERT_EQ(g.stateOf(a), shadow.count(a)
+                                    ? shadow[a]
+                                    : rmm::GranuleState::Undelegated);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GranuleFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ----------------------------------------------------------- RTT fuzzing
+
+namespace {
+
+class RttFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(RttFuzz, TranslationMatchesShadowMap)
+{
+    sim::Rng rng(GetParam());
+    rmm::Rtt rtt;
+    std::map<rmm::Ipa, rmm::PhysAddr> shadow;
+    rmm::PhysAddr next_granule = 0x1000000;
+    const auto fresh = [&next_granule] {
+        const rmm::PhysAddr g = next_granule;
+        next_granule += rmm::granuleSize;
+        return g;
+    };
+    for (int step = 0; step < 3000; ++step) {
+        // Use a small IPA pool so map/unmap/table-sharing all happen.
+        const rmm::Ipa ipa =
+            rng.uniformInt(0, 127) * rmm::granuleSize +
+            (rng.chance(0.3) ? (1ull << 30) : 0);
+        if (rng.chance(0.6)) {
+            // Try to map (building tables first, as a host would).
+            while (!rtt.tablesComplete(ipa)) {
+                ASSERT_EQ(rtt.createTable(ipa, rtt.walkLevel(ipa),
+                                          fresh()),
+                          rmm::RmiStatus::Success);
+            }
+            const auto s = rtt.mapPage(ipa, fresh());
+            if (shadow.count(ipa)) {
+                ASSERT_EQ(s, rmm::RmiStatus::BadState);
+            } else {
+                ASSERT_EQ(s, rmm::RmiStatus::Success);
+                shadow[ipa] = *rtt.translate(ipa);
+            }
+        } else {
+            const auto s = rtt.unmapPage(ipa);
+            if (shadow.count(ipa)) {
+                ASSERT_EQ(s, rmm::RmiStatus::Success);
+                shadow.erase(ipa);
+            } else {
+                ASSERT_NE(s, rmm::RmiStatus::Success);
+            }
+        }
+        ASSERT_EQ(rtt.mappedPages(), shadow.size());
+    }
+    for (const auto& [ipa, pa] : shadow) {
+        auto t = rtt.translate(ipa);
+        ASSERT_TRUE(t.has_value());
+        ASSERT_EQ(*t, pa);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RttFuzz,
+                         ::testing::Values(11u, 12u, 13u));
+
+// ------------------------------------------------------ planner fuzzing
+
+namespace {
+
+class PlannerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(PlannerFuzz, NeverOvercommitsOrDoubleAllocates)
+{
+    sim::Simulation s;
+    hw::MachineConfig mcfg;
+    mcfg.numCores = 32;
+    mcfg.coresPerNumaNode = 16;
+    hw::Machine machine(s, mcfg);
+    cg::core::CorePlanner planner(machine, host::CpuMask::firstN(2));
+    sim::Rng rng(GetParam());
+    std::vector<std::vector<sim::CoreId>> live;
+    int reserved_total = 0;
+    for (int step = 0; step < 2000; ++step) {
+        if (rng.chance(0.55) || live.empty()) {
+            const int want = static_cast<int>(rng.uniformInt(1, 8));
+            auto r = planner.reserve(want);
+            if (want <= 30 - reserved_total) {
+                ASSERT_TRUE(r.has_value()) << "step " << step;
+            }
+            if (r) {
+                // Invariant I7: no host cores, no double allocation.
+                for (sim::CoreId c : *r) {
+                    ASSERT_GE(c, 2);
+                    for (const auto& other : live) {
+                        for (sim::CoreId oc : other)
+                            ASSERT_NE(c, oc);
+                    }
+                }
+                reserved_total += want;
+                live.push_back(*r);
+            } else {
+                ASSERT_GT(want, 30 - reserved_total);
+            }
+        } else {
+            const auto idx = rng.uniformInt(0, live.size() - 1);
+            planner.release(live[idx]);
+            reserved_total -= static_cast<int>(live[idx].size());
+            live.erase(live.begin() + static_cast<long>(idx));
+        }
+        ASSERT_EQ(planner.reservedCores(), reserved_total);
+        ASSERT_EQ(planner.freeCores(), 30 - reserved_total);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerFuzz,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+// ------------------------------------------------- uarch eviction fuzzing
+
+namespace {
+
+class UarchFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(UarchFuzz, TaggedStructureConservation)
+{
+    sim::Rng rng(GetParam());
+    hw::TaggedStructure s("fuzz", 4096, 1 * sim::nsec);
+    for (int step = 0; step < 20000; ++step) {
+        const auto d =
+            static_cast<sim::DomainId>(rng.uniformInt(0, 5));
+        if (rng.chance(0.9)) {
+            s.touch(d, rng.uniformInt(1, 6000));
+        } else if (rng.chance(0.5)) {
+            s.flushDomain(d);
+        } else {
+            s.flushAll();
+        }
+        // Occupancy conservation: the per-domain shares sum to used(),
+        // which never exceeds capacity.
+        std::size_t sum = 0;
+        for (sim::DomainId dom = 0; dom <= 5; ++dom)
+            sum += s.entriesOf(dom);
+        ASSERT_EQ(sum, s.used());
+        ASSERT_LE(s.used(), s.capacity());
+        // foreignEntries is exactly used - own.
+        ASSERT_EQ(s.foreignEntries(d), s.used() - s.entriesOf(d));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UarchFuzz,
+                         ::testing::Values(31u, 32u, 33u));

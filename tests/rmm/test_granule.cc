@@ -1,0 +1,122 @@
+/** @file Unit tests for the granule state machine (invariant I4). */
+
+#include <gtest/gtest.h>
+
+#include "rmm/granule.hh"
+
+using namespace cg::rmm;
+
+TEST(Granule, FreshMemoryIsUndelegatedAndHostAccessible)
+{
+    GranuleTracker g;
+    EXPECT_EQ(g.stateOf(0x1000), GranuleState::Undelegated);
+    EXPECT_TRUE(g.hostAccessible(0x1000));
+    EXPECT_EQ(g.ownerOf(0x1000), -1);
+}
+
+TEST(Granule, DelegateRemovesHostAccess)
+{
+    GranuleTracker g;
+    EXPECT_EQ(g.delegate(0x1000), RmiStatus::Success);
+    EXPECT_EQ(g.stateOf(0x1000), GranuleState::Delegated);
+    EXPECT_FALSE(g.hostAccessible(0x1000));
+    // Sub-granule offsets are covered too.
+    EXPECT_FALSE(g.hostAccessible(0x1800));
+}
+
+TEST(Granule, DelegateRejectsUnaligned)
+{
+    GranuleTracker g;
+    EXPECT_EQ(g.delegate(0x1234), RmiStatus::BadAddress);
+}
+
+TEST(Granule, DoubleDelegateFails)
+{
+    GranuleTracker g;
+    ASSERT_EQ(g.delegate(0x2000), RmiStatus::Success);
+    EXPECT_EQ(g.delegate(0x2000), RmiStatus::BadState);
+}
+
+TEST(Granule, UndelegateRestoresHostAccess)
+{
+    GranuleTracker g;
+    ASSERT_EQ(g.delegate(0x2000), RmiStatus::Success);
+    EXPECT_EQ(g.undelegate(0x2000), RmiStatus::Success);
+    EXPECT_TRUE(g.hostAccessible(0x2000));
+}
+
+TEST(Granule, CannotUndelegateAssignedGranule)
+{
+    GranuleTracker g;
+    ASSERT_EQ(g.delegate(0x3000), RmiStatus::Success);
+    ASSERT_EQ(g.assign(0x3000, GranuleState::Data, 0),
+              RmiStatus::Success);
+    // Invariant I4: an assigned (confidential) granule cannot be
+    // returned to the host without going through release (scrub).
+    EXPECT_EQ(g.undelegate(0x3000), RmiStatus::BadState);
+    EXPECT_FALSE(g.hostAccessible(0x3000));
+}
+
+TEST(Granule, AssignRequiresDelegatedState)
+{
+    GranuleTracker g;
+    EXPECT_EQ(g.assign(0x4000, GranuleState::Rd, 0), RmiStatus::BadState);
+    ASSERT_EQ(g.delegate(0x4000), RmiStatus::Success);
+    EXPECT_EQ(g.assign(0x4000, GranuleState::Rd, 0), RmiStatus::Success);
+    EXPECT_EQ(g.ownerOf(0x4000), 0);
+    // Cannot re-assign without release.
+    EXPECT_EQ(g.assign(0x4000, GranuleState::Data, 0),
+              RmiStatus::BadState);
+}
+
+TEST(Granule, AssignToUnassignedStatesRejected)
+{
+    GranuleTracker g;
+    ASSERT_EQ(g.delegate(0x5000), RmiStatus::Success);
+    EXPECT_EQ(g.assign(0x5000, GranuleState::Undelegated, 0),
+              RmiStatus::BadArgs);
+    EXPECT_EQ(g.assign(0x5000, GranuleState::Delegated, 0),
+              RmiStatus::BadArgs);
+}
+
+TEST(Granule, ReleaseChecksStateAndOwner)
+{
+    GranuleTracker g;
+    ASSERT_EQ(g.delegate(0x6000), RmiStatus::Success);
+    ASSERT_EQ(g.assign(0x6000, GranuleState::Rec, 3), RmiStatus::Success);
+    EXPECT_EQ(g.release(0x6000, GranuleState::Rec, 4),
+              RmiStatus::BadState); // wrong owner
+    EXPECT_EQ(g.release(0x6000, GranuleState::Data, 3),
+              RmiStatus::BadState); // wrong state
+    EXPECT_EQ(g.release(0x6000, GranuleState::Rec, 3),
+              RmiStatus::Success);
+    EXPECT_EQ(g.stateOf(0x6000), GranuleState::Delegated);
+    EXPECT_EQ(g.undelegate(0x6000), RmiStatus::Success);
+}
+
+TEST(Granule, ReleaseOwnedSweepsRealm)
+{
+    GranuleTracker g;
+    for (PhysAddr a : {0x1000ull, 0x2000ull, 0x3000ull}) {
+        ASSERT_EQ(g.delegate(a), RmiStatus::Success);
+        ASSERT_EQ(g.assign(a, GranuleState::Data, 7), RmiStatus::Success);
+    }
+    ASSERT_EQ(g.delegate(0x4000), RmiStatus::Success);
+    ASSERT_EQ(g.assign(0x4000, GranuleState::Data, 8),
+              RmiStatus::Success);
+    g.releaseOwned(7);
+    EXPECT_EQ(g.stateOf(0x1000), GranuleState::Delegated);
+    EXPECT_EQ(g.stateOf(0x3000), GranuleState::Delegated);
+    EXPECT_EQ(g.stateOf(0x4000), GranuleState::Data); // other realm kept
+}
+
+TEST(Granule, CountInState)
+{
+    GranuleTracker g;
+    ASSERT_EQ(g.delegate(0x1000), RmiStatus::Success);
+    ASSERT_EQ(g.delegate(0x2000), RmiStatus::Success);
+    ASSERT_EQ(g.assign(0x2000, GranuleState::Rtt, 0), RmiStatus::Success);
+    EXPECT_EQ(g.countInState(GranuleState::Delegated), 1u);
+    EXPECT_EQ(g.countInState(GranuleState::Rtt), 1u);
+    EXPECT_EQ(g.countInState(GranuleState::Data), 0u);
+}

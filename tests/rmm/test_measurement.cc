@@ -1,0 +1,78 @@
+/** @file Unit tests for measurements and attestation. */
+
+#include <gtest/gtest.h>
+
+#include "rmm/measurement.hh"
+
+using namespace cg::rmm;
+
+TEST(Measurement, RimExtendIsOrderSensitive)
+{
+    Measurement a, b;
+    a.extendRim(1);
+    a.extendRim(2);
+    b.extendRim(2);
+    b.extendRim(1);
+    EXPECT_NE(a.rim(), b.rim());
+}
+
+TEST(Measurement, IdenticalSequencesMatch)
+{
+    Measurement a, b;
+    for (std::uint64_t v : {42ull, 7ull, 99ull}) {
+        a.extendRim(v);
+        b.extendRim(v);
+    }
+    EXPECT_EQ(a.rim(), b.rim());
+}
+
+TEST(Measurement, RemRegistersAreIndependent)
+{
+    Measurement m;
+    const Digest before = m.rem(1);
+    m.extendRem(0, 5);
+    EXPECT_EQ(m.rem(1), before);
+    EXPECT_NE(m.rem(0), before);
+}
+
+TEST(Measurement, DigestOfStrings)
+{
+    EXPECT_EQ(digestOf("hello"), digestOf("hello"));
+    EXPECT_NE(digestOf("hello"), digestOf("hellp"));
+    EXPECT_NE(digestOf(""), digestOf("x"));
+}
+
+TEST(Attestation, IssueAndVerifyRoundTrip)
+{
+    AttestationAuthority auth(0x1234);
+    Measurement m;
+    m.extendRim(99);
+    const AttestationToken t = auth.issue(m, /*challenge=*/777);
+    EXPECT_TRUE(auth.verify(t, 777));
+}
+
+TEST(Attestation, WrongChallengeRejected)
+{
+    AttestationAuthority auth(0x1234);
+    Measurement m;
+    const AttestationToken t = auth.issue(m, 777);
+    EXPECT_FALSE(auth.verify(t, 778));
+}
+
+TEST(Attestation, TamperedMeasurementRejected)
+{
+    AttestationAuthority auth(0x1234);
+    Measurement m;
+    m.extendRim(1);
+    AttestationToken t = auth.issue(m, 5);
+    t.rim = digestExtend(t.rim, 666); // attacker swaps the measurement
+    EXPECT_FALSE(auth.verify(t, 5));
+}
+
+TEST(Attestation, DifferentPlatformKeyRejected)
+{
+    AttestationAuthority real(0x1234), fake(0x9999);
+    Measurement m;
+    const AttestationToken t = fake.issue(m, 5);
+    EXPECT_FALSE(real.verify(t, 5));
+}

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Unit tests for the RMM: realm lifecycle, core-gapping binding
+ * enforcement (invariants I1/I3), interrupt delegation, and
+ * list-register filtering — driven through a scripted fake guest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "rmm/rmm.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+
+namespace hw = cg::hw;
+namespace sim = cg::sim;
+using namespace cg::rmm;
+using sim::Proc;
+using sim::Tick;
+using sim::usec;
+
+namespace {
+
+/** A guest whose exits follow a fixed script. */
+struct FakeGuest : GuestContext {
+    std::deque<ExitInfo> script;
+    std::vector<hw::IntId> injected;
+    hw::ListRegFile lrs;
+    int runs = 0;
+
+    Proc<ExitInfo>
+    runUntilExit(sim::CoreId core) override
+    {
+        (void)core;
+        ++runs;
+        co_await sim::Delay{10 * usec};
+        if (script.empty()) {
+            ExitInfo off;
+            off.reason = ExitReason::Shutdown;
+            co_return off;
+        }
+        ExitInfo e = script.front();
+        script.pop_front();
+        co_return e;
+    }
+
+    bool
+    injectVirq(hw::IntId id) override
+    {
+        injected.push_back(id);
+        return lrs.inject(id);
+    }
+
+    void forceExit(ExitReason) override {}
+    void completeMmio(std::uint64_t) override {}
+    bool entered() const override { return false; }
+    hw::ListRegFile& listRegs() override { return lrs; }
+
+    ExitInfo
+    exitOf(ExitReason r)
+    {
+        ExitInfo e;
+        e.reason = r;
+        return e;
+    }
+};
+
+struct RmmFixture : ::testing::Test {
+    sim::Simulation sim;
+    hw::MachineConfig mcfg;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<Rmm> rmm;
+    FakeGuest guest;
+    int realm = -1;
+    int rec = -1;
+    PhysAddr nextGranule = 0x10000;
+
+    void
+    boot(RmmConfig cfg = {})
+    {
+        mcfg.numCores = 4;
+        machine = std::make_unique<hw::Machine>(sim, mcfg);
+        rmm = std::make_unique<Rmm>(*machine, cfg);
+    }
+
+    PhysAddr
+    granule()
+    {
+        PhysAddr a = nextGranule;
+        nextGranule += granuleSize;
+        EXPECT_EQ(rmm->granuleDelegate(a), RmiStatus::Success);
+        return a;
+    }
+
+    void
+    makeRealm()
+    {
+        ASSERT_EQ(rmm->realmCreate(granule(), RealmParams{"t"}, realm),
+                  RmiStatus::Success);
+        ASSERT_EQ(rmm->recCreate(realm, granule(), rec),
+                  RmiStatus::Success);
+        rmm->setGuestContext(realm, rec, &guest);
+        ASSERT_EQ(rmm->realmActivate(realm), RmiStatus::Success);
+    }
+
+    /** Run recEnter inside a process and capture the result. */
+    RecRunResult
+    enter(sim::CoreId core, RecEnterArgs args = {})
+    {
+        RecRunResult out;
+        sim.spawn("enter", enterProc(*rmm, realm, rec, args, core, out));
+        sim.run();
+        return out;
+    }
+
+    static Proc<void>
+    enterProc(Rmm& rmm, int realm, int rec, RecEnterArgs args,
+              sim::CoreId core, RecRunResult& out)
+    {
+        out = co_await rmm.recEnter(realm, rec, args, core);
+    }
+};
+
+} // namespace
+
+TEST_F(RmmFixture, RealmLifecycle)
+{
+    boot();
+    int id = -1;
+    PhysAddr rd = granule();
+    ASSERT_EQ(rmm->realmCreate(rd, RealmParams{"vm0"}, id),
+              RmiStatus::Success);
+    EXPECT_EQ(id, 0);
+    Realm* r = rmm->realm(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->state, RealmState::New);
+    EXPECT_GE(r->domain, sim::firstVmDomain);
+
+    int rec0 = -1;
+    ASSERT_EQ(rmm->recCreate(id, granule(), rec0), RmiStatus::Success);
+    ASSERT_EQ(rmm->realmActivate(id), RmiStatus::Success);
+    EXPECT_EQ(r->state, RealmState::Active);
+    // No RECs or data after activation.
+    int rec1 = -1;
+    EXPECT_EQ(rmm->recCreate(id, granule(), rec1), RmiStatus::BadState);
+
+    EXPECT_EQ(rmm->realmDestroy(id), RmiStatus::BadState); // REC alive
+    EXPECT_EQ(rmm->recDestroy(id, rec0), RmiStatus::Success);
+    EXPECT_EQ(rmm->realmDestroy(id), RmiStatus::Success);
+    EXPECT_EQ(rmm->realm(id), nullptr);
+    // All granules scrubbed back to Delegated.
+    EXPECT_EQ(rmm->granules().countInState(GranuleState::Rd), 0u);
+    EXPECT_EQ(rmm->granules().countInState(GranuleState::Rec), 0u);
+}
+
+TEST_F(RmmFixture, RealmCreateNeedsDelegatedGranule)
+{
+    boot();
+    int id = -1;
+    EXPECT_EQ(rmm->realmCreate(0x99000, RealmParams{}, id),
+              RmiStatus::BadState);
+}
+
+TEST_F(RmmFixture, DataCreateExtendsMeasurementOnlyBeforeActivation)
+{
+    boot();
+    int id = -1;
+    ASSERT_EQ(rmm->realmCreate(granule(), RealmParams{"vm"}, id),
+              RmiStatus::Success);
+    Realm* r = rmm->realm(id);
+    // Build RTT tables for IPA 0.
+    for (int level = 1; level <= rttLeafLevel; ++level)
+        ASSERT_EQ(rmm->rttCreate(id, 0, level, granule()),
+                  RmiStatus::Success);
+    const Digest before = r->measurement.rim();
+    ASSERT_EQ(rmm->dataCreate(id, 0, granule(), 0xabcd),
+              RmiStatus::Success);
+    EXPECT_NE(r->measurement.rim(), before);
+    ASSERT_EQ(rmm->realmActivate(id), RmiStatus::Success);
+    // Post-activation population uses dataCreateUnknown, unmeasured.
+    const Digest after_activate = r->measurement.rim();
+    ASSERT_EQ(rmm->dataCreateUnknown(id, granuleSize, granule()),
+              RmiStatus::Success);
+    EXPECT_EQ(r->measurement.rim(), after_activate);
+    EXPECT_EQ(rmm->dataCreate(id, 2 * granuleSize, granule(), 1),
+              RmiStatus::BadState);
+}
+
+TEST_F(RmmFixture, AttestationBindsMeasurement)
+{
+    boot();
+    makeRealm();
+    AttestationToken t;
+    ASSERT_EQ(rmm->attest(realm, 42, t), RmiStatus::Success);
+    EXPECT_TRUE(rmm->authority().verify(t, 42));
+    EXPECT_EQ(t.rim, rmm->realm(realm)->measurement.rim());
+}
+
+TEST_F(RmmFixture, RecEnterRunsGuestToFirstHostExit)
+{
+    boot();
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    RecRunResult res = enter(1);
+    EXPECT_EQ(res.status, RmiStatus::Success);
+    EXPECT_EQ(res.exit.reason, ExitReason::Mmio);
+    EXPECT_EQ(guest.runs, 1);
+    EXPECT_EQ(rmm->stats().exitsToHost.value(), 1u);
+}
+
+TEST_F(RmmFixture, CoreGappingBindsRecToFirstCore)
+{
+    RmmConfig cfg;
+    cfg.coreGapped = true;
+    boot(cfg);
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    RecRunResult res = enter(2);
+    ASSERT_EQ(res.status, RmiStatus::Success);
+    EXPECT_EQ(rmm->recBinding(realm, rec), 2);
+    EXPECT_EQ(rmm->dedicatedOwner(2), realm);
+
+    // Invariant I1/I3: dispatch on any other core is rejected without
+    // running the guest.
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    const int runs_before = guest.runs;
+    res = enter(3);
+    EXPECT_EQ(res.status, RmiStatus::WrongCore);
+    EXPECT_EQ(guest.runs, runs_before);
+    EXPECT_EQ(rmm->stats().wrongCoreRejections.value(), 1u);
+
+    // The bound core still works.
+    res = enter(2);
+    EXPECT_EQ(res.status, RmiStatus::Success);
+}
+
+TEST_F(RmmFixture, CoreGappingRejectsSecondCvmOnDedicatedCore)
+{
+    RmmConfig cfg;
+    cfg.coreGapped = true;
+    boot(cfg);
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    ASSERT_EQ(enter(1).status, RmiStatus::Success);
+
+    // A second realm tries to use core 1.
+    FakeGuest guest2;
+    int realm2 = -1, rec2 = -1;
+    ASSERT_EQ(rmm->realmCreate(granule(), RealmParams{"evil"}, realm2),
+              RmiStatus::Success);
+    ASSERT_EQ(rmm->recCreate(realm2, granule(), rec2),
+              RmiStatus::Success);
+    rmm->setGuestContext(realm2, rec2, &guest2);
+    ASSERT_EQ(rmm->realmActivate(realm2), RmiStatus::Success);
+    EXPECT_EQ(rmm->recEnterCheck(realm2, rec2, 1), RmiStatus::WrongCore);
+    EXPECT_EQ(rmm->recEnterCheck(realm2, rec2, 3), RmiStatus::Success);
+}
+
+TEST_F(RmmFixture, RecDestroyReleasesDedicatedCore)
+{
+    RmmConfig cfg;
+    cfg.coreGapped = true;
+    boot(cfg);
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    ASSERT_EQ(enter(1).status, RmiStatus::Success);
+    ASSERT_EQ(rmm->dedicatedOwner(1), realm);
+    ASSERT_EQ(rmm->recDestroy(realm, rec), RmiStatus::Success);
+    EXPECT_EQ(rmm->dedicatedOwner(1), -1);
+    EXPECT_EQ(rmm->recBinding(realm, rec), sim::invalidCore);
+}
+
+TEST_F(RmmFixture, DelegationHandlesTimerLocally)
+{
+    RmmConfig cfg;
+    cfg.delegateInterrupts = true;
+    boot(cfg);
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::TimerIrq));
+    guest.script.push_back(guest.exitOf(ExitReason::TimerWrite));
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    RecRunResult res = enter(1);
+    EXPECT_EQ(res.exit.reason, ExitReason::Mmio);
+    EXPECT_EQ(guest.runs, 3); // timer events consumed internally
+    EXPECT_EQ(rmm->stats().exitsToHost.value(), 1u);
+    EXPECT_EQ(rmm->stats().delegatedTimerEvents.value(), 2u);
+    // The timer interrupt was injected directly by the RMM.
+    ASSERT_EQ(guest.injected.size(), 1u);
+    EXPECT_EQ(guest.injected[0], hw::vtimerPpi);
+}
+
+TEST_F(RmmFixture, WithoutDelegationTimerExitsToHost)
+{
+    boot();
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::TimerIrq));
+    RecRunResult res = enter(1);
+    EXPECT_EQ(res.exit.reason, ExitReason::TimerIrq);
+    EXPECT_EQ(rmm->stats().exitsToHost.value(), 1u);
+    EXPECT_EQ(rmm->stats().irqRelatedExitsToHost.value(), 1u);
+    EXPECT_EQ(rmm->stats().delegatedTimerEvents.value(), 0u);
+}
+
+TEST_F(RmmFixture, DelegatedVIpiInjectsIntoTargetRec)
+{
+    RmmConfig cfg;
+    cfg.delegateInterrupts = true;
+    boot(cfg);
+    // Realm with two RECs, second backed by its own fake guest.
+    ASSERT_EQ(rmm->realmCreate(granule(), RealmParams{"vm"}, realm),
+              RmiStatus::Success);
+    ASSERT_EQ(rmm->recCreate(realm, granule(), rec), RmiStatus::Success);
+    int rec_b = -1;
+    ASSERT_EQ(rmm->recCreate(realm, granule(), rec_b),
+              RmiStatus::Success);
+    FakeGuest guest_b;
+    rmm->setGuestContext(realm, rec, &guest);
+    rmm->setGuestContext(realm, rec_b, &guest_b);
+    ASSERT_EQ(rmm->realmActivate(realm), RmiStatus::Success);
+
+    ExitInfo sgi = guest.exitOf(ExitReason::SgiWrite);
+    sgi.target = rec_b;
+    guest.script.push_back(sgi);
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    RecRunResult res = enter(1);
+    EXPECT_EQ(res.exit.reason, ExitReason::Mmio);
+    EXPECT_EQ(rmm->stats().delegatedIpis.value(), 1u);
+    ASSERT_EQ(guest_b.injected.size(), 1u);
+    EXPECT_TRUE(hw::isSgi(guest_b.injected[0]));
+    EXPECT_EQ(rmm->stats().exitsToHost.value(), 1u);
+}
+
+TEST_F(RmmFixture, HostLrViewFiltersDelegatedInterrupts)
+{
+    RmmConfig cfg;
+    cfg.delegateInterrupts = true;
+    boot(cfg);
+    makeRealm();
+    guest.lrs.inject(hw::vtimerPpi); // delegated: hidden
+    guest.lrs.inject(1);             // SGI: hidden
+    guest.lrs.inject(40);            // device SPI: host-managed
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    RecRunResult res = enter(1);
+    EXPECT_EQ(res.hostLrView, (std::vector<hw::IntId>{40}));
+}
+
+TEST_F(RmmFixture, HostLrViewCompleteWithoutDelegation)
+{
+    boot();
+    makeRealm();
+    guest.lrs.inject(hw::vtimerPpi);
+    guest.lrs.inject(40);
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    RecRunResult res = enter(1);
+    EXPECT_EQ(res.hostLrView,
+              (std::vector<hw::IntId>{hw::vtimerPpi, 40}));
+}
+
+TEST_F(RmmFixture, HostRequestedVirqsAreInjectedOnEntry)
+{
+    boot();
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::Mmio));
+    RecEnterArgs args;
+    args.injectVirqs = {40, 41};
+    RecRunResult res = enter(1, args);
+    ASSERT_EQ(res.status, RmiStatus::Success);
+    EXPECT_EQ(guest.injected, (std::vector<hw::IntId>{40, 41}));
+}
+
+TEST_F(RmmFixture, ShutdownStopsRec)
+{
+    boot();
+    makeRealm();
+    guest.script.push_back(guest.exitOf(ExitReason::Shutdown));
+    RecRunResult res = enter(1);
+    EXPECT_EQ(res.exit.reason, ExitReason::Shutdown);
+    // Further entries are rejected.
+    EXPECT_EQ(rmm->recEnterCheck(realm, rec, 1), RmiStatus::BadState);
+}
+
+TEST_F(RmmFixture, RecEnterOnMissingRealmFails)
+{
+    boot();
+    EXPECT_EQ(rmm->recEnterCheck(7, 0, 0), RmiStatus::BadState);
+}

@@ -1,0 +1,139 @@
+/** @file Unit tests for realm translation tables. */
+
+#include <gtest/gtest.h>
+
+#include "rmm/rtt.hh"
+
+using namespace cg::rmm;
+
+namespace {
+
+/** Build tables for the walk of @p ipa down to the leaf level. */
+void
+buildTables(Rtt& rtt, Ipa ipa, PhysAddr base = 0x100000)
+{
+    for (int level = 1; level <= rttLeafLevel; ++level) {
+        const RmiStatus s = rtt.createTable(
+            ipa, level, base + static_cast<PhysAddr>(level) * 0x1000);
+        ASSERT_TRUE(s == RmiStatus::Success || s == RmiStatus::BadState);
+    }
+}
+
+} // namespace
+
+TEST(Rtt, EmptyTranslationFaults)
+{
+    Rtt rtt;
+    EXPECT_FALSE(rtt.translate(0x8000).has_value());
+    EXPECT_EQ(rtt.walkLevel(0x8000), 1); // first missing table
+}
+
+TEST(Rtt, MapRequiresTables)
+{
+    Rtt rtt;
+    EXPECT_EQ(rtt.mapPage(0x8000, 0x200000), RmiStatus::NoMemory);
+}
+
+TEST(Rtt, CreateTablesThenMap)
+{
+    Rtt rtt;
+    buildTables(rtt, 0x8000);
+    EXPECT_EQ(rtt.walkLevel(0x8000), rttLeafLevel);
+    EXPECT_EQ(rtt.mapPage(0x8000, 0x200000), RmiStatus::Success);
+    EXPECT_EQ(rtt.walkLevel(0x8000), rttLeafLevel + 1);
+    auto pa = rtt.translate(0x8000);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, 0x200000u);
+}
+
+TEST(Rtt, TranslatePreservesPageOffset)
+{
+    Rtt rtt;
+    buildTables(rtt, 0x8000);
+    ASSERT_EQ(rtt.mapPage(0x8000, 0x200000), RmiStatus::Success);
+    auto pa = rtt.translate(0x8abc);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, 0x200abcu);
+}
+
+TEST(Rtt, TablesMustBeCreatedTopDown)
+{
+    Rtt rtt;
+    // Level 2 before level 1: the parent is missing.
+    EXPECT_EQ(rtt.createTable(0x8000, 2, 0x100000),
+              RmiStatus::NoMemory);
+    EXPECT_EQ(rtt.createTable(0x8000, 1, 0x100000), RmiStatus::Success);
+    EXPECT_EQ(rtt.createTable(0x8000, 2, 0x101000), RmiStatus::Success);
+}
+
+TEST(Rtt, DuplicateTableRejected)
+{
+    Rtt rtt;
+    ASSERT_EQ(rtt.createTable(0x8000, 1, 0x100000), RmiStatus::Success);
+    EXPECT_EQ(rtt.createTable(0x8000, 1, 0x101000), RmiStatus::BadState);
+}
+
+TEST(Rtt, BadLevelOrAlignmentRejected)
+{
+    Rtt rtt;
+    EXPECT_EQ(rtt.createTable(0x8000, 0, 0x100000), RmiStatus::BadArgs);
+    EXPECT_EQ(rtt.createTable(0x8000, 4, 0x100000), RmiStatus::BadArgs);
+    EXPECT_EQ(rtt.createTable(0x8000, 1, 0x100123),
+              RmiStatus::BadAddress);
+    buildTables(rtt, 0x8000);
+    EXPECT_EQ(rtt.mapPage(0x8000, 0x200001), RmiStatus::BadAddress);
+}
+
+TEST(Rtt, DoubleMapRejected)
+{
+    Rtt rtt;
+    buildTables(rtt, 0x8000);
+    ASSERT_EQ(rtt.mapPage(0x8000, 0x200000), RmiStatus::Success);
+    EXPECT_EQ(rtt.mapPage(0x8000, 0x300000), RmiStatus::BadState);
+}
+
+TEST(Rtt, UnmapThenFaultAgain)
+{
+    Rtt rtt;
+    buildTables(rtt, 0x8000);
+    ASSERT_EQ(rtt.mapPage(0x8000, 0x200000), RmiStatus::Success);
+    EXPECT_EQ(rtt.unmapPage(0x8000), RmiStatus::Success);
+    EXPECT_FALSE(rtt.translate(0x8000).has_value());
+    EXPECT_EQ(rtt.unmapPage(0x8000), RmiStatus::BadState);
+    EXPECT_EQ(rtt.mappedPages(), 0u);
+}
+
+TEST(Rtt, NeighbouringPagesShareTables)
+{
+    Rtt rtt;
+    buildTables(rtt, 0x8000);
+    ASSERT_EQ(rtt.mapPage(0x8000, 0x200000), RmiStatus::Success);
+    // Same 2 MiB region: no new tables needed.
+    EXPECT_EQ(rtt.mapPage(0x9000, 0x201000), RmiStatus::Success);
+    EXPECT_EQ(rtt.tableCount(), 3u);
+    EXPECT_EQ(rtt.mappedPages(), 2u);
+}
+
+TEST(Rtt, DistantPagesNeedSeparateTables)
+{
+    Rtt rtt;
+    buildTables(rtt, 0x8000);
+    ASSERT_EQ(rtt.mapPage(0x8000, 0x200000), RmiStatus::Success);
+    // 1 TiB away: the level-1 walk diverges.
+    const Ipa far = 1ull << 40;
+    EXPECT_EQ(rtt.mapPage(far, 0x300000), RmiStatus::NoMemory);
+    buildTables(rtt, far, 0x900000);
+    EXPECT_EQ(rtt.mapPage(far, 0x300000), RmiStatus::Success);
+    EXPECT_GT(rtt.tableCount(), 3u);
+}
+
+TEST(Rtt, IndexExtraction)
+{
+    // ipa = idx3 << 12 | idx2 << 21 | idx1 << 30 | idx0 << 39
+    const Ipa ipa = (5ull << 39) | (17ull << 30) | (100ull << 21) |
+                    (511ull << 12) | 0xabc;
+    EXPECT_EQ(rttIndex(ipa, 0), 5u);
+    EXPECT_EQ(rttIndex(ipa, 1), 17u);
+    EXPECT_EQ(rttIndex(ipa, 2), 100u);
+    EXPECT_EQ(rttIndex(ipa, 3), 511u);
+}

@@ -1,0 +1,142 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace cg::sim;
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30 * nsec, [&] { order.push_back(3); });
+    q.schedule(10 * nsec, [&] { order.push_back(1); });
+    q.schedule(20 * nsec, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30 * nsec);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(5 * nsec, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100 * nsec, [&] {
+        q.scheduleIn(50 * nsec, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150 * nsec);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10 * nsec, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelIsIdempotent)
+{
+    EventQueue q;
+    EventId id = q.schedule(10 * nsec, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(invalidEventId));
+    EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10 * nsec, [&] { ++count; });
+    q.schedule(20 * nsec, [&] { ++count; });
+    q.schedule(30 * nsec, [&] { ++count; });
+    q.run(20 * nsec); // events at exactly the limit still run
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20 * nsec);
+    q.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunToLimitAdvancesTimeWithoutEvents)
+{
+    EventQueue q;
+    q.run(5 * usec);
+    EXPECT_EQ(q.now(), 5 * usec);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            q.scheduleIn(1 * nsec, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(q.now(), 9 * nsec);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1 * nsec, [&] { ++count; });
+    q.schedule(2 * nsec, [&] { ++count; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, PendingCountTracksCancellations)
+{
+    EventQueue q;
+    EventId a = q.schedule(1 * nsec, [] {});
+    q.schedule(2 * nsec, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelInsideEventCallback)
+{
+    EventQueue q;
+    bool second_ran = false;
+    EventId second = q.schedule(20 * nsec, [&] { second_ran = true; });
+    q.schedule(10 * nsec, [&] { q.cancel(second); });
+    q.run();
+    EXPECT_FALSE(second_ran);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Coverage for small public-API corners: name tables, unit
+ * conversions, deferred process starts, and the process registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hw/machine.hh"
+#include "rmm/exit.hh"
+#include "rmm/granule.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+
+namespace sim = cg::sim;
+namespace hw = cg::hw;
+namespace rmm = cg::rmm;
+
+TEST(Misc, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(sim::toNsec(1 * sim::usec), 1000.0);
+    EXPECT_DOUBLE_EQ(sim::toUsec(2500 * sim::nsec), 2.5);
+    EXPECT_DOUBLE_EQ(sim::toMsec(1 * sim::sec), 1000.0);
+    EXPECT_DOUBLE_EQ(sim::toSec(500 * sim::msec), 0.5);
+    static_assert(sim::sec == 1000 * sim::msec);
+    static_assert(sim::msec == 1000 * sim::usec);
+    static_assert(sim::usec == 1000 * sim::nsec);
+    static_assert(sim::nsec == 1000 * sim::psec);
+}
+
+TEST(Misc, NameTablesAreTotal)
+{
+    using rmm::ExitReason;
+    for (auto r : {ExitReason::None, ExitReason::TimerIrq,
+                   ExitReason::TimerWrite, ExitReason::SgiWrite,
+                   ExitReason::Wfi, ExitReason::Mmio,
+                   ExitReason::PageFault, ExitReason::Hypercall,
+                   ExitReason::HostKick, ExitReason::Shutdown}) {
+        EXPECT_STRNE(rmm::exitReasonName(r), "?");
+    }
+    using rmm::GranuleState;
+    for (auto g : {GranuleState::Undelegated, GranuleState::Delegated,
+                   GranuleState::Rd, GranuleState::Rec,
+                   GranuleState::Rtt, GranuleState::Data}) {
+        EXPECT_STRNE(rmm::granuleStateName(g), "?");
+    }
+    using rmm::RmiStatus;
+    for (auto s : {RmiStatus::Success, RmiStatus::BadAddress,
+                   RmiStatus::BadState, RmiStatus::BadArgs,
+                   RmiStatus::WrongCore, RmiStatus::NoMemory,
+                   RmiStatus::Busy}) {
+        EXPECT_STRNE(rmm::rmiStatusName(s), "?");
+    }
+    for (auto w : {hw::World::Normal, hw::World::Realm,
+                   hw::World::Root}) {
+        EXPECT_STRNE(hw::worldName(w), "?");
+    }
+}
+
+TEST(Misc, InterruptIdClassification)
+{
+    EXPECT_TRUE(hw::isSgi(0));
+    EXPECT_TRUE(hw::isSgi(15));
+    EXPECT_FALSE(hw::isSgi(16));
+    EXPECT_TRUE(hw::isPpi(hw::vtimerPpi));
+    EXPECT_TRUE(hw::isPpi(hw::ptimerPpi));
+    EXPECT_FALSE(hw::isPpi(32));
+    EXPECT_TRUE(hw::isSpi(64));
+    EXPECT_FALSE(hw::isSpi(31));
+}
+
+namespace {
+
+cg::sim::Proc<void>
+setFlag(bool& flag)
+{
+    flag = true;
+    co_return;
+}
+
+} // namespace
+
+TEST(Misc, DeferredSpawnDoesNotAutoStart)
+{
+    sim::Simulation s;
+    bool ran = false;
+    sim::Process& p =
+        s.spawnOn("deferred", s.freeDispatcher(), setFlag(ran), false);
+    s.run();
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(p.done());
+    s.freeDispatcher().wake(p);
+    s.run();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(p.done());
+}
+
+TEST(Misc, ProcessRegistryKeepsCompletedProcesses)
+{
+    sim::Simulation s;
+    bool a = false, b = false;
+    s.spawn("a", setFlag(a));
+    s.spawn("b", setFlag(b));
+    s.run();
+    ASSERT_EQ(s.processes().size(), 2u);
+    EXPECT_EQ(s.processes()[0]->name(), "a");
+    EXPECT_EQ(s.processes()[1]->name(), "b");
+    EXPECT_TRUE(s.processes()[0]->done());
+}
+
+TEST(Misc, LatencyStatPercentiles)
+{
+    sim::LatencyStat l;
+    for (int i = 1; i <= 100; ++i)
+        l.sample(static_cast<sim::Tick>(i) * sim::usec);
+    EXPECT_NEAR(l.p50Us(), 50.5, 0.01);
+    EXPECT_NEAR(l.p95Us(), 95.05, 0.01);
+    EXPECT_NEAR(l.p99Us(), 99.01, 0.01);
+    EXPECT_DOUBLE_EQ(l.maxUs(), 100.0);
+    l.reset();
+    EXPECT_EQ(l.count(), 0u);
+}

@@ -1,0 +1,148 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+using namespace cg::sim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsAboutHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectssBounds)
+{
+    Rng r(13);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniformInt(10, 20);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, UniformIntSingleValue)
+{
+    Rng r(17);
+    EXPECT_EQ(r.uniformInt(5, 5), 5u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(19);
+    const int n = 200000;
+    double sum = 0, sumsq = 0;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal(10.0, 2.0);
+        sum += x;
+        sumsq += x * x;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(23);
+    const int n = 200000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, JitteredStaysNearNominal)
+{
+    Rng r(31);
+    const Tick nominal = 1000 * nsec;
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        Tick t = r.jittered(nominal, 0.05);
+        sum += static_cast<double>(t);
+    }
+    EXPECT_NEAR(sum / n, static_cast<double>(nominal),
+                0.01 * static_cast<double>(nominal));
+}
+
+TEST(Rng, JitteredZeroSpreadIsExact)
+{
+    Rng r(37);
+    EXPECT_EQ(r.jittered(500 * nsec, 0.0), 500 * nsec);
+    EXPECT_EQ(r.jittered(0, 0.3), 0u);
+}
+
+TEST(Rng, JitteredNeverNegative)
+{
+    Rng r(41);
+    for (int i = 0; i < 10000; ++i) {
+        // huge relative sd would go negative without clamping
+        Tick t = r.jittered(10 * nsec, 5.0);
+        ASSERT_GE(t, 0u); // Tick is unsigned; checks no wrap to huge value
+        ASSERT_LT(t, 1000 * nsec);
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(43);
+    Rng child = a.fork();
+    // Child stream differs from the parent's continued stream.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next64() == child.next64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResetsSequence)
+{
+    Rng a(47);
+    std::uint64_t first = a.next64();
+    a.next64();
+    a.reseed(47);
+    EXPECT_EQ(a.next64(), first);
+}

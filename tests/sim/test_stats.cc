@@ -1,0 +1,102 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using namespace cg::sim;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MeanAndStddev)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    // Sample variance of this classic data set is 32/7.
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.sample(3.5);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 3.5);
+    EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(Distribution, PercentilesOfKnownData)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.median(), 50.5);
+    EXPECT_NEAR(d.percentile(95), 95.05, 1e-9);
+    EXPECT_NEAR(d.percentile(99), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+}
+
+TEST(Distribution, MeanUnsortedThenSorted)
+{
+    Distribution d;
+    d.sample(3);
+    d.sample(1);
+    d.sample(2);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 2.0);
+    d.sample(10); // re-dirty after a sorted query
+    EXPECT_DOUBLE_EQ(d.max(), 10.0);
+}
+
+TEST(Distribution, EmptyAndSingle)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+    d.sample(7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 7.0);
+}
+
+TEST(LatencyStat, UnitConversions)
+{
+    LatencyStat s;
+    s.sample(1 * usec);
+    s.sample(3 * usec);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.meanUs(), 2.0);
+    EXPECT_DOUBLE_EQ(s.meanNs(), 2000.0);
+    EXPECT_DOUBLE_EQ(s.maxUs(), 3.0);
+}
+
+TEST(Stats, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2757.6, 1), "2757.6");
+}

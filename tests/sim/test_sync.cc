@@ -1,0 +1,286 @@
+/** @file Unit tests for synchronisation primitives. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+
+using namespace cg::sim;
+
+namespace {
+
+Proc<void>
+waitAndLog(Notify& n, std::vector<int>& order, int id)
+{
+    co_await n.wait();
+    order.push_back(id);
+}
+
+Proc<void>
+waitAndFlag(Notify& n, bool& flag)
+{
+    co_await n.wait();
+    flag = true;
+}
+
+Proc<void>
+gateWaitAndCount(Gate& g, int& count)
+{
+    co_await g.wait();
+    ++count;
+}
+
+Proc<void>
+gateWaitAndFlag(Gate& g, bool& flag)
+{
+    co_await g.wait();
+    flag = true;
+}
+
+Proc<void>
+recvInto(Channel<int>& ch, int& out)
+{
+    out = co_await ch.recv();
+}
+
+Proc<void>
+recvStrInto(Simulation& sim, Channel<std::string>& ch, std::string& out,
+            Tick& when)
+{
+    out = co_await ch.recv();
+    when = sim.now();
+}
+
+Proc<void>
+sendStrLater(Channel<std::string>& ch, Tick d, std::string msg)
+{
+    co_await Delay{d};
+    ch.send(std::move(msg));
+}
+
+Proc<void>
+recvN(Channel<int>& ch, int n, std::vector<int>& got)
+{
+    for (int i = 0; i < n; ++i)
+        got.push_back(co_await ch.recv());
+}
+
+Proc<void>
+sendNSpaced(Channel<int>& ch, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        ch.send(i);
+        co_await Delay{1 * nsec};
+    }
+}
+
+Proc<void>
+recvOneAppend(Channel<int>& ch, std::vector<int>& got)
+{
+    got.push_back(co_await ch.recv());
+}
+
+Proc<void>
+sumN(Channel<int>& ch, int n, int& sum)
+{
+    for (int i = 0; i < n; ++i)
+        sum += co_await ch.recv();
+}
+
+Proc<void>
+criticalSection(Semaphore& s, int& in_critical, int& max_seen)
+{
+    co_await s.acquire();
+    ++in_critical;
+    max_seen = std::max(max_seen, in_critical);
+    co_await Delay{10 * nsec};
+    --in_critical;
+    s.release();
+}
+
+Proc<void>
+acquireAndFlag(Semaphore& s, bool& flag)
+{
+    co_await s.acquire();
+    flag = true;
+}
+
+} // namespace
+
+TEST(Notify, NotifyOneWakesInFifoOrder)
+{
+    Simulation sim;
+    Notify n;
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i)
+        sim.spawn(strFormat("w%d", i), waitAndLog(n, order, i));
+    sim.runFor(1 * nsec);
+    EXPECT_EQ(n.waiterCount(), 3u);
+    n.notifyOne();
+    sim.runFor(1 * nsec);
+    n.notifyOne();
+    n.notifyOne();
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Notify, NotifyOnEmptyQueueIsNoop)
+{
+    Notify n;
+    EXPECT_FALSE(n.notifyOne());
+    EXPECT_EQ(n.notifyAll(), 0u);
+}
+
+TEST(Notify, WaitIsEdgeTriggered)
+{
+    Simulation sim;
+    Notify n;
+    n.notifyAll(); // before anyone waits: lost, by design
+    bool resumed = false;
+    sim.spawn("w", waitAndFlag(n, resumed));
+    sim.run();
+    EXPECT_FALSE(resumed);
+    n.notifyAll();
+    sim.run();
+    EXPECT_TRUE(resumed);
+}
+
+TEST(Gate, LevelTriggered)
+{
+    Simulation sim;
+    Gate g;
+    int passed = 0;
+    sim.spawn("early", gateWaitAndCount(g, passed));
+    sim.run();
+    EXPECT_EQ(passed, 0);
+    g.open();
+    sim.run();
+    EXPECT_EQ(passed, 1);
+    // Late waiter passes straight through an open gate.
+    sim.spawn("late", gateWaitAndCount(g, passed));
+    sim.run();
+    EXPECT_EQ(passed, 2);
+}
+
+TEST(Gate, ResetBlocksAgain)
+{
+    Simulation sim;
+    Gate g;
+    g.open();
+    g.reset();
+    bool passed = false;
+    sim.spawn("w", gateWaitAndFlag(g, passed));
+    sim.run();
+    EXPECT_FALSE(passed);
+    g.open();
+    sim.run();
+    EXPECT_TRUE(passed);
+}
+
+TEST(Channel, SendThenRecv)
+{
+    Simulation sim;
+    Channel<int> ch;
+    ch.send(41);
+    int got = 0;
+    sim.spawn("r", recvInto(ch, got));
+    sim.run();
+    EXPECT_EQ(got, 41);
+}
+
+TEST(Channel, RecvBlocksUntilSend)
+{
+    Simulation sim;
+    Channel<std::string> ch;
+    std::string got;
+    Tick recv_time = 0;
+    sim.spawn("r", recvStrInto(sim, ch, got, recv_time));
+    sim.spawn("s", sendStrLater(ch, 5 * usec, "hello"));
+    sim.run();
+    EXPECT_EQ(got, "hello");
+    EXPECT_EQ(recv_time, 5 * usec);
+}
+
+TEST(Channel, PreservesFifoOrder)
+{
+    Simulation sim;
+    Channel<int> ch;
+    std::vector<int> got;
+    sim.spawn("r", recvN(ch, 5, got));
+    sim.spawn("s", sendNSpaced(ch, 5));
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, MultipleReceiversEachGetOneItem)
+{
+    Simulation sim;
+    Channel<int> ch;
+    std::vector<int> got;
+    for (int i = 0; i < 3; ++i)
+        sim.spawn(strFormat("r%d", i), recvOneAppend(ch, got));
+    sim.runFor(1 * nsec);
+    ch.send(10);
+    ch.send(20);
+    ch.send(30);
+    sim.run();
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0] + got[1] + got[2], 60);
+}
+
+TEST(Channel, TryRecv)
+{
+    Channel<int> ch;
+    int out = 0;
+    EXPECT_FALSE(ch.tryRecv(out));
+    ch.send(9);
+    EXPECT_TRUE(ch.tryRecv(out));
+    EXPECT_EQ(out, 9);
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, BurstSendSingleReceiverLoop)
+{
+    Simulation sim;
+    Channel<int> ch;
+    int sum = 0;
+    sim.spawn("r", sumN(ch, 10, sum));
+    sim.runFor(1 * nsec);
+    for (int i = 1; i <= 10; ++i)
+        ch.send(i); // burst: more items than notifies consumed
+    sim.run();
+    EXPECT_EQ(sum, 55);
+}
+
+TEST(Semaphore, AcquireReleaseCounts)
+{
+    Simulation sim;
+    Semaphore s(2);
+    int in_critical = 0;
+    int max_in_critical = 0;
+    for (int i = 0; i < 5; ++i) {
+        sim.spawn(strFormat("t%d", i),
+                  criticalSection(s, in_critical, max_in_critical));
+    }
+    sim.run();
+    EXPECT_EQ(in_critical, 0);
+    EXPECT_LE(max_in_critical, 2);
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(Semaphore, ZeroInitialBlocks)
+{
+    Simulation sim;
+    Semaphore s(0);
+    bool acquired = false;
+    sim.spawn("t", acquireAndFlag(s, acquired));
+    sim.run();
+    EXPECT_FALSE(acquired);
+    s.release();
+    sim.run();
+    EXPECT_TRUE(acquired);
+}
