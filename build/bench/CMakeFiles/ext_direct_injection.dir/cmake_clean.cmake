@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_direct_injection.dir/ext_direct_injection.cc.o"
+  "CMakeFiles/ext_direct_injection.dir/ext_direct_injection.cc.o.d"
+  "ext_direct_injection"
+  "ext_direct_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_direct_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

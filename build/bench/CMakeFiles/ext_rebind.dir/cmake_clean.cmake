@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rebind.dir/ext_rebind.cc.o"
+  "CMakeFiles/ext_rebind.dir/ext_rebind.cc.o.d"
+  "ext_rebind"
+  "ext_rebind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rebind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tdx_pagetables.dir/ext_tdx_pagetables.cc.o"
+  "CMakeFiles/ext_tdx_pagetables.dir/ext_tdx_pagetables.cc.o.d"
+  "ext_tdx_pagetables"
+  "ext_tdx_pagetables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tdx_pagetables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

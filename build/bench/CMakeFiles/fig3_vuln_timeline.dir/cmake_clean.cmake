@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vuln_timeline.dir/fig3_vuln_timeline.cc.o"
+  "CMakeFiles/fig3_vuln_timeline.dir/fig3_vuln_timeline.cc.o.d"
+  "fig3_vuln_timeline"
+  "fig3_vuln_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vuln_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

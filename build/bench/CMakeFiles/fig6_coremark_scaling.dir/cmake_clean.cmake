@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_coremark_scaling.dir/fig6_coremark_scaling.cc.o"
+  "CMakeFiles/fig6_coremark_scaling.dir/fig6_coremark_scaling.cc.o.d"
+  "fig6_coremark_scaling"
+  "fig6_coremark_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_coremark_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

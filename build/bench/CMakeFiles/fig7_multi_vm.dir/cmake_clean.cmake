@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multi_vm.dir/fig7_multi_vm.cc.o"
+  "CMakeFiles/fig7_multi_vm.dir/fig7_multi_vm.cc.o.d"
+  "fig7_multi_vm"
+  "fig7_multi_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multi_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_netpipe.dir/fig8_netpipe.cc.o"
+  "CMakeFiles/fig8_netpipe.dir/fig8_netpipe.cc.o.d"
+  "fig8_netpipe"
+  "fig8_netpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_netpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_iozone.dir/fig9_iozone.cc.o"
+  "CMakeFiles/fig9_iozone.dir/fig9_iozone.cc.o.d"
+  "fig9_iozone"
+  "fig9_iozone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_iozone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_leakage_matrix.dir/sec_leakage_matrix.cc.o"
+  "CMakeFiles/sec_leakage_matrix.dir/sec_leakage_matrix.cc.o.d"
+  "sec_leakage_matrix"
+  "sec_leakage_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_leakage_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_vipi_latency.dir/table3_vipi_latency.cc.o"
+  "CMakeFiles/table3_vipi_latency.dir/table3_vipi_latency.cc.o.d"
+  "table3_vipi_latency"
+  "table3_vipi_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_vipi_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

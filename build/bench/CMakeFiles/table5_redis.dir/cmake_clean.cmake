@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_redis.dir/table5_redis.cc.o"
+  "CMakeFiles/table5_redis.dir/table5_redis.cc.o.d"
+  "table5_redis"
+  "table5_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_node.dir/cloud_node.cpp.o"
+  "CMakeFiles/cloud_node.dir/cloud_node.cpp.o.d"
+  "cloud_node"
+  "cloud_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

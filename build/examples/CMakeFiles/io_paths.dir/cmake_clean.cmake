@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_paths.dir/io_paths.cpp.o"
+  "CMakeFiles/io_paths.dir/io_paths.cpp.o.d"
+  "io_paths"
+  "io_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_attacks.dir/catalog.cc.o"
+  "CMakeFiles/cg_attacks.dir/catalog.cc.o.d"
+  "CMakeFiles/cg_attacks.dir/lab.cc.o"
+  "CMakeFiles/cg_attacks.dir/lab.cc.o.d"
+  "libcg_attacks.a"
+  "libcg_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/doorbell.cc" "src/core/CMakeFiles/cg_core.dir/doorbell.cc.o" "gcc" "src/core/CMakeFiles/cg_core.dir/doorbell.cc.o.d"
+  "/root/repo/src/core/gapped_vm.cc" "src/core/CMakeFiles/cg_core.dir/gapped_vm.cc.o" "gcc" "src/core/CMakeFiles/cg_core.dir/gapped_vm.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/cg_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/cg_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/rpc.cc" "src/core/CMakeFiles/cg_core.dir/rpc.cc.o" "gcc" "src/core/CMakeFiles/cg_core.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmm/CMakeFiles/cg_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/cg_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/cg_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmm/CMakeFiles/cg_rmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

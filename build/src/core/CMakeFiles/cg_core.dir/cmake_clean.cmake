@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_core.dir/doorbell.cc.o"
+  "CMakeFiles/cg_core.dir/doorbell.cc.o.d"
+  "CMakeFiles/cg_core.dir/gapped_vm.cc.o"
+  "CMakeFiles/cg_core.dir/gapped_vm.cc.o.d"
+  "CMakeFiles/cg_core.dir/planner.cc.o"
+  "CMakeFiles/cg_core.dir/planner.cc.o.d"
+  "CMakeFiles/cg_core.dir/rpc.cc.o"
+  "CMakeFiles/cg_core.dir/rpc.cc.o.d"
+  "libcg_core.a"
+  "libcg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/vcpu.cc" "src/guest/CMakeFiles/cg_guest.dir/vcpu.cc.o" "gcc" "src/guest/CMakeFiles/cg_guest.dir/vcpu.cc.o.d"
+  "/root/repo/src/guest/vm.cc" "src/guest/CMakeFiles/cg_guest.dir/vm.cc.o" "gcc" "src/guest/CMakeFiles/cg_guest.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmm/CMakeFiles/cg_rmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/cg_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

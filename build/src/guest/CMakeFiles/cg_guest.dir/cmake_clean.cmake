@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_guest.dir/vcpu.cc.o"
+  "CMakeFiles/cg_guest.dir/vcpu.cc.o.d"
+  "CMakeFiles/cg_guest.dir/vm.cc.o"
+  "CMakeFiles/cg_guest.dir/vm.cc.o.d"
+  "libcg_guest.a"
+  "libcg_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_host.dir/kernel.cc.o"
+  "CMakeFiles/cg_host.dir/kernel.cc.o.d"
+  "libcg_host.a"
+  "libcg_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

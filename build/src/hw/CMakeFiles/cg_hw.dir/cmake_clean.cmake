@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_hw.dir/gic.cc.o"
+  "CMakeFiles/cg_hw.dir/gic.cc.o.d"
+  "CMakeFiles/cg_hw.dir/machine.cc.o"
+  "CMakeFiles/cg_hw.dir/machine.cc.o.d"
+  "CMakeFiles/cg_hw.dir/timer.cc.o"
+  "CMakeFiles/cg_hw.dir/timer.cc.o.d"
+  "CMakeFiles/cg_hw.dir/uarch.cc.o"
+  "CMakeFiles/cg_hw.dir/uarch.cc.o.d"
+  "libcg_hw.a"
+  "libcg_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

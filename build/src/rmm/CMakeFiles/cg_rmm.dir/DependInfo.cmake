@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmm/exit.cc" "src/rmm/CMakeFiles/cg_rmm.dir/exit.cc.o" "gcc" "src/rmm/CMakeFiles/cg_rmm.dir/exit.cc.o.d"
+  "/root/repo/src/rmm/granule.cc" "src/rmm/CMakeFiles/cg_rmm.dir/granule.cc.o" "gcc" "src/rmm/CMakeFiles/cg_rmm.dir/granule.cc.o.d"
+  "/root/repo/src/rmm/measurement.cc" "src/rmm/CMakeFiles/cg_rmm.dir/measurement.cc.o" "gcc" "src/rmm/CMakeFiles/cg_rmm.dir/measurement.cc.o.d"
+  "/root/repo/src/rmm/rmm.cc" "src/rmm/CMakeFiles/cg_rmm.dir/rmm.cc.o" "gcc" "src/rmm/CMakeFiles/cg_rmm.dir/rmm.cc.o.d"
+  "/root/repo/src/rmm/rtt.cc" "src/rmm/CMakeFiles/cg_rmm.dir/rtt.cc.o" "gcc" "src/rmm/CMakeFiles/cg_rmm.dir/rtt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/cg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

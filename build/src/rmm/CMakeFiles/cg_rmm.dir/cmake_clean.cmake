@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_rmm.dir/exit.cc.o"
+  "CMakeFiles/cg_rmm.dir/exit.cc.o.d"
+  "CMakeFiles/cg_rmm.dir/granule.cc.o"
+  "CMakeFiles/cg_rmm.dir/granule.cc.o.d"
+  "CMakeFiles/cg_rmm.dir/measurement.cc.o"
+  "CMakeFiles/cg_rmm.dir/measurement.cc.o.d"
+  "CMakeFiles/cg_rmm.dir/rmm.cc.o"
+  "CMakeFiles/cg_rmm.dir/rmm.cc.o.d"
+  "CMakeFiles/cg_rmm.dir/rtt.cc.o"
+  "CMakeFiles/cg_rmm.dir/rtt.cc.o.d"
+  "libcg_rmm.a"
+  "libcg_rmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_rmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

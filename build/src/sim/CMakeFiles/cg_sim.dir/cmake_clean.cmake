@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cg_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cg_sim.dir/logging.cc.o"
+  "CMakeFiles/cg_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cg_sim.dir/proc.cc.o"
+  "CMakeFiles/cg_sim.dir/proc.cc.o.d"
+  "CMakeFiles/cg_sim.dir/rng.cc.o"
+  "CMakeFiles/cg_sim.dir/rng.cc.o.d"
+  "CMakeFiles/cg_sim.dir/simulation.cc.o"
+  "CMakeFiles/cg_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/cg_sim.dir/stats.cc.o"
+  "CMakeFiles/cg_sim.dir/stats.cc.o.d"
+  "CMakeFiles/cg_sim.dir/sync.cc.o"
+  "CMakeFiles/cg_sim.dir/sync.cc.o.d"
+  "libcg_sim.a"
+  "libcg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

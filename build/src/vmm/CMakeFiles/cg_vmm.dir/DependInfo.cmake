@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/disk.cc" "src/vmm/CMakeFiles/cg_vmm.dir/disk.cc.o" "gcc" "src/vmm/CMakeFiles/cg_vmm.dir/disk.cc.o.d"
+  "/root/repo/src/vmm/kick.cc" "src/vmm/CMakeFiles/cg_vmm.dir/kick.cc.o" "gcc" "src/vmm/CMakeFiles/cg_vmm.dir/kick.cc.o.d"
+  "/root/repo/src/vmm/kvm.cc" "src/vmm/CMakeFiles/cg_vmm.dir/kvm.cc.o" "gcc" "src/vmm/CMakeFiles/cg_vmm.dir/kvm.cc.o.d"
+  "/root/repo/src/vmm/netfabric.cc" "src/vmm/CMakeFiles/cg_vmm.dir/netfabric.cc.o" "gcc" "src/vmm/CMakeFiles/cg_vmm.dir/netfabric.cc.o.d"
+  "/root/repo/src/vmm/sriov.cc" "src/vmm/CMakeFiles/cg_vmm.dir/sriov.cc.o" "gcc" "src/vmm/CMakeFiles/cg_vmm.dir/sriov.cc.o.d"
+  "/root/repo/src/vmm/virtio.cc" "src/vmm/CMakeFiles/cg_vmm.dir/virtio.cc.o" "gcc" "src/vmm/CMakeFiles/cg_vmm.dir/virtio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/cg_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/cg_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmm/CMakeFiles/cg_rmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_vmm.dir/disk.cc.o"
+  "CMakeFiles/cg_vmm.dir/disk.cc.o.d"
+  "CMakeFiles/cg_vmm.dir/kick.cc.o"
+  "CMakeFiles/cg_vmm.dir/kick.cc.o.d"
+  "CMakeFiles/cg_vmm.dir/kvm.cc.o"
+  "CMakeFiles/cg_vmm.dir/kvm.cc.o.d"
+  "CMakeFiles/cg_vmm.dir/netfabric.cc.o"
+  "CMakeFiles/cg_vmm.dir/netfabric.cc.o.d"
+  "CMakeFiles/cg_vmm.dir/sriov.cc.o"
+  "CMakeFiles/cg_vmm.dir/sriov.cc.o.d"
+  "CMakeFiles/cg_vmm.dir/virtio.cc.o"
+  "CMakeFiles/cg_vmm.dir/virtio.cc.o.d"
+  "libcg_vmm.a"
+  "libcg_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_workloads.dir/coremark.cc.o"
+  "CMakeFiles/cg_workloads.dir/coremark.cc.o.d"
+  "CMakeFiles/cg_workloads.dir/iozone.cc.o"
+  "CMakeFiles/cg_workloads.dir/iozone.cc.o.d"
+  "CMakeFiles/cg_workloads.dir/kbuild.cc.o"
+  "CMakeFiles/cg_workloads.dir/kbuild.cc.o.d"
+  "CMakeFiles/cg_workloads.dir/netpipe.cc.o"
+  "CMakeFiles/cg_workloads.dir/netpipe.cc.o.d"
+  "CMakeFiles/cg_workloads.dir/redis.cc.o"
+  "CMakeFiles/cg_workloads.dir/redis.cc.o.d"
+  "CMakeFiles/cg_workloads.dir/remote.cc.o"
+  "CMakeFiles/cg_workloads.dir/remote.cc.o.d"
+  "CMakeFiles/cg_workloads.dir/testbed.cc.o"
+  "CMakeFiles/cg_workloads.dir/testbed.cc.o.d"
+  "libcg_workloads.a"
+  "libcg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_direct_irq.cc" "tests/CMakeFiles/test_core.dir/core/test_direct_irq.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_direct_irq.cc.o.d"
+  "/root/repo/tests/core/test_gapped.cc" "tests/CMakeFiles/test_core.dir/core/test_gapped.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_gapped.cc.o.d"
+  "/root/repo/tests/core/test_hostile_host.cc" "tests/CMakeFiles/test_core.dir/core/test_hostile_host.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hostile_host.cc.o.d"
+  "/root/repo/tests/core/test_mixed_tenancy.cc" "tests/CMakeFiles/test_core.dir/core/test_mixed_tenancy.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mixed_tenancy.cc.o.d"
+  "/root/repo/tests/core/test_planner.cc" "tests/CMakeFiles/test_core.dir/core/test_planner.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_planner.cc.o.d"
+  "/root/repo/tests/core/test_plumbing.cc" "tests/CMakeFiles/test_core.dir/core/test_plumbing.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_plumbing.cc.o.d"
+  "/root/repo/tests/core/test_rebind.cc" "tests/CMakeFiles/test_core.dir/core/test_rebind.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rebind.cc.o.d"
+  "/root/repo/tests/core/test_rsi.cc" "tests/CMakeFiles/test_core.dir/core/test_rsi.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rsi.cc.o.d"
+  "/root/repo/tests/core/test_suspend.cc" "tests/CMakeFiles/test_core.dir/core/test_suspend.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_suspend.cc.o.d"
+  "/root/repo/tests/core/test_teardown_stress.cc" "tests/CMakeFiles/test_core.dir/core/test_teardown_stress.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_teardown_stress.cc.o.d"
+  "/root/repo/tests/core/test_terminate.cc" "tests/CMakeFiles/test_core.dir/core/test_terminate.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_terminate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/cg_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/cg_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/cg_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmm/CMakeFiles/cg_rmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_direct_irq.cc.o"
+  "CMakeFiles/test_core.dir/core/test_direct_irq.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_gapped.cc.o"
+  "CMakeFiles/test_core.dir/core/test_gapped.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hostile_host.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hostile_host.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_mixed_tenancy.cc.o"
+  "CMakeFiles/test_core.dir/core/test_mixed_tenancy.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_planner.cc.o"
+  "CMakeFiles/test_core.dir/core/test_planner.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_plumbing.cc.o"
+  "CMakeFiles/test_core.dir/core/test_plumbing.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_rebind.cc.o"
+  "CMakeFiles/test_core.dir/core/test_rebind.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_rsi.cc.o"
+  "CMakeFiles/test_core.dir/core/test_rsi.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_suspend.cc.o"
+  "CMakeFiles/test_core.dir/core/test_suspend.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_teardown_stress.cc.o"
+  "CMakeFiles/test_core.dir/core/test_teardown_stress.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_terminate.cc.o"
+  "CMakeFiles/test_core.dir/core/test_terminate.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest.dir/guest/test_shared_run.cc.o"
+  "CMakeFiles/test_guest.dir/guest/test_shared_run.cc.o.d"
+  "CMakeFiles/test_guest.dir/guest/test_vcpu.cc.o"
+  "CMakeFiles/test_guest.dir/guest/test_vcpu.cc.o.d"
+  "test_guest"
+  "test_guest.pdb"
+  "test_guest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_gic.cc" "tests/CMakeFiles/test_hw.dir/hw/test_gic.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_gic.cc.o.d"
+  "/root/repo/tests/hw/test_machine.cc" "tests/CMakeFiles/test_hw.dir/hw/test_machine.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_machine.cc.o.d"
+  "/root/repo/tests/hw/test_uarch.cc" "tests/CMakeFiles/test_hw.dir/hw/test_uarch.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_uarch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/cg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rmm/test_granule.cc" "tests/CMakeFiles/test_rmm.dir/rmm/test_granule.cc.o" "gcc" "tests/CMakeFiles/test_rmm.dir/rmm/test_granule.cc.o.d"
+  "/root/repo/tests/rmm/test_measurement.cc" "tests/CMakeFiles/test_rmm.dir/rmm/test_measurement.cc.o" "gcc" "tests/CMakeFiles/test_rmm.dir/rmm/test_measurement.cc.o.d"
+  "/root/repo/tests/rmm/test_rmm.cc" "tests/CMakeFiles/test_rmm.dir/rmm/test_rmm.cc.o" "gcc" "tests/CMakeFiles/test_rmm.dir/rmm/test_rmm.cc.o.d"
+  "/root/repo/tests/rmm/test_rtt.cc" "tests/CMakeFiles/test_rmm.dir/rmm/test_rtt.cc.o" "gcc" "tests/CMakeFiles/test_rmm.dir/rmm/test_rtt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmm/CMakeFiles/cg_rmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

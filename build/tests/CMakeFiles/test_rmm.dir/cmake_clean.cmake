@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmm.dir/rmm/test_granule.cc.o"
+  "CMakeFiles/test_rmm.dir/rmm/test_granule.cc.o.d"
+  "CMakeFiles/test_rmm.dir/rmm/test_measurement.cc.o"
+  "CMakeFiles/test_rmm.dir/rmm/test_measurement.cc.o.d"
+  "CMakeFiles/test_rmm.dir/rmm/test_rmm.cc.o"
+  "CMakeFiles/test_rmm.dir/rmm/test_rmm.cc.o.d"
+  "CMakeFiles/test_rmm.dir/rmm/test_rtt.cc.o"
+  "CMakeFiles/test_rmm.dir/rmm/test_rtt.cc.o.d"
+  "test_rmm"
+  "test_rmm.pdb"
+  "test_rmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

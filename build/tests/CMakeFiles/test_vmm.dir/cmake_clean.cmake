@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmm.dir/vmm/test_devices.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_devices.cc.o.d"
+  "CMakeFiles/test_vmm.dir/vmm/test_kvm.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_kvm.cc.o.d"
+  "CMakeFiles/test_vmm.dir/vmm/test_virtio_unit.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_virtio_unit.cc.o.d"
+  "test_vmm"
+  "test_vmm.pdb"
+  "test_vmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
