@@ -1,7 +1,7 @@
 /**
  * @file
- * Shared helpers for the benchmark binaries: table formatting and
- * paper-vs-measured comparison rows.
+ * Shared helpers for the benchmark binaries: table formatting,
+ * paper-vs-measured comparison rows, and machine-readable JSON output.
  *
  * Note on methodology: these harnesses report *simulated* time and
  * throughput from the discrete-event model, not host wall-clock time —
@@ -9,16 +9,105 @@
  * google-benchmark's timing loop (that would measure the simulator,
  * not the system under study). A google-benchmark microbenchmark of
  * the simulation kernel itself lives in sim_microbench.cc.
+ *
+ * Every harness calls initHarness(argc, argv) first. With
+ * `--json <path>` the comparison rows recorded via compareRow()/
+ * jsonRow() are additionally written to <path> as a JSON array of
+ * {bench, metric, paper, measured} objects, so successive PRs can
+ * track the perf trajectory mechanically (BENCH_*.json files).
  */
 
 #ifndef CG_BENCH_COMMON_HH
 #define CG_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace cg::bench {
+
+/** One paper-vs-measured data point, for the JSON report. */
+struct JsonRow {
+    std::string metric;
+    double paper;
+    double measured;
+};
+
+namespace detail {
+
+inline std::string json_path;   // empty: no JSON output
+inline std::string bench_name;  // argv[0] basename
+inline std::vector<JsonRow> json_rows;
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+inline std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+inline void
+writeJsonReport()
+{
+    if (json_path.empty())
+        return;
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write JSON report to '%s'\n",
+                     json_path.c_str());
+        return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+        const JsonRow& r = json_rows[i];
+        std::fprintf(f,
+                     "  {\"bench\": \"%s\", \"metric\": \"%s\", "
+                     "\"paper\": %.6g, \"measured\": %.6g}%s\n",
+                     jsonEscape(bench_name).c_str(),
+                     jsonEscape(r.metric).c_str(), r.paper, r.measured,
+                     i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+}
+
+} // namespace detail
+
+/**
+ * Parse common harness flags (currently `--json <path>`) and register
+ * the JSON report writer to run at exit. Call first in main().
+ */
+inline void
+initHarness(int argc, char** argv)
+{
+    const char* slash = std::strrchr(argv[0], '/');
+    detail::bench_name = slash ? slash + 1 : argv[0];
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            detail::json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    std::atexit(detail::writeJsonReport);
+}
+
+/** Record a data point for the JSON report only (no table output). */
+inline void
+jsonRow(const std::string& metric, double paper, double measured)
+{
+    detail::json_rows.push_back(JsonRow{metric, paper, measured});
+}
 
 inline void
 banner(const std::string& title, const std::string& paper_ref)
@@ -37,7 +126,7 @@ note(const std::string& text)
     std::printf("note: %s\n", text.c_str());
 }
 
-/** "paper X, measured Y" comparison row. */
+/** "paper X, measured Y" comparison row; also recorded for --json. */
 inline void
 compareRow(const std::string& what, double paper, double measured,
            const std::string& unit)
@@ -47,6 +136,7 @@ compareRow(const std::string& what, double paper, double measured,
                 "(x%.2f)\n",
                 what.c_str(), paper, unit.c_str(), measured,
                 unit.c_str(), ratio);
+    jsonRow(what, paper, measured);
 }
 
 inline void

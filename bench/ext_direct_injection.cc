@@ -56,8 +56,9 @@ run(RunMode mode, bool direct_irq, std::uint64_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Extension: direct interrupt delivery over SR-IOV",
            "section 5.3 (anticipated further changes to KVM and RMM)");
     std::printf("  %-10s | %13s | %13s | %17s\n", "", "shared",

@@ -61,8 +61,9 @@ runScore(bool with_rebind, Tick& stall)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Extension: coarse-timescale vCPU rebinding cost",
            "section 3 (deferred future work)");
     Tick stall = 0;

@@ -71,8 +71,9 @@ run(bool tdx_style, int pages = 400)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Extension: TDX-style page tables vs CCA-style RMIs",
            "section 6.1 (discussion)");
     Row cca = run(false);

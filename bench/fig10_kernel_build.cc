@@ -40,8 +40,9 @@ buildTime(RunMode mode, int phys_cores)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Fig. 10: parallel kernel-style build over virtio disk",
            "fig. 10, section 5.4");
     std::printf("  %-6s %14s %14s %10s\n", "cores", "shared (s)",

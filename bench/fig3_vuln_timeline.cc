@@ -13,8 +13,9 @@ using namespace cg::attacks;
 using cg::bench::banner;
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Fig. 3: processor vulnerability timeline",
            "fig. 3, section 2.2");
     for (int year = 2018; year <= 2024; ++year) {

@@ -51,8 +51,9 @@ run(RunMode mode, bool sriov, std::uint64_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Fig. 8: NetPIPE TCP latency and throughput",
            "fig. 8, section 5.3");
     std::printf("  %-10s | %-23s | %-23s | %-23s | %-23s\n", "",

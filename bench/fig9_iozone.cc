@@ -41,8 +41,9 @@ run(RunMode mode, std::uint64_t record, bool write)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Fig. 9: IOzone sync read/write over virtio-blk (O_DIRECT)",
            "fig. 9, section 5.3");
     std::printf("  %-12s | %-21s | %-21s\n", "",

@@ -60,8 +60,9 @@ runLab(RunMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Security matrix: observable victim residue per channel",
            "sections 2.2-2.4 (threat model), invariant I5");
     const RunMode modes[] = {RunMode::SharedCore,

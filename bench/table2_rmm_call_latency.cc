@@ -104,8 +104,9 @@ measure()
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Table 2: null RMM call latencies",
            "table 2, section 4.3");
     Results r = measure();

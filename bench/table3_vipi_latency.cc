@@ -84,8 +84,9 @@ measure(RunMode mode, int iters = 200)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Table 3: virtual inter-processor interrupt latency",
            "table 3, section 4.4");
     const double no_deleg = measure(RunMode::CoreGappedNoDelegation);

@@ -58,8 +58,9 @@ row(const char* label, const RedisBenchmark::Result& r)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    cg::bench::initHarness(argc, argv);
     banner("Table 5: Redis benchmark (50 clients, 512-byte objects)",
            "table 5, section 5.4");
     std::printf("  %-22s %8s %8s %8s %8s\n", "", "krps", "mean",

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer + UBSan.
+#
+# Usage: scripts/sanitize.sh [sanitizers] [extra ctest args...]
+#   sanitizers defaults to "address,undefined" (CG_SANITIZE syntax).
+#
+# The instrumented tree lives in build-sanitize/ so it never disturbs
+# the primary build/ directory. Exits non-zero on any sanitizer report
+# (-fno-sanitize-recover=all) or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS="${1:-address,undefined}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+BUILD_DIR="build-sanitize"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCG_SANITIZE="$SANITIZERS"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# detect_leaks needs ptrace; fall back gracefully inside containers.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

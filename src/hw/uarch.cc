@@ -16,22 +16,42 @@ TaggedStructure::TaggedStructure(std::string name, std::size_t capacity,
               name_.c_str());
 }
 
+TaggedStructure::ShareVec::iterator
+TaggedStructure::findShare(DomainId d)
+{
+    return std::lower_bound(held_.begin(), held_.end(), d,
+                            [](const DomainShare& s, DomainId dom) {
+                                return s.dom < dom;
+                            });
+}
+
+TaggedStructure::ShareVec::const_iterator
+TaggedStructure::findShare(DomainId d) const
+{
+    return std::lower_bound(held_.begin(), held_.end(), d,
+                            [](const DomainShare& s, DomainId dom) {
+                                return s.dom < dom;
+                            });
+}
+
 void
 TaggedStructure::touch(DomainId d, std::size_t entries)
 {
     const std::size_t target = std::min(entries, capacity_);
-    std::size_t& mine = held_[d];
-    if (target <= mine)
+    auto it = findShare(d);
+    if (it == held_.end() || it->dom != d)
+        it = held_.insert(it, DomainShare{d, 0});
+    if (target <= it->count)
         return; // working set already resident
-    const std::size_t grow = target - mine;
-    std::size_t others = used_ - mine;
-    mine = target;
+    const std::size_t grow = target - it->count;
+    std::size_t others = used_ - it->count;
+    it->count = target;
     used_ += grow;
     if (used_ <= capacity_)
         return;
     // Evict the overflow proportionally from other domains. Each
     // victim's share is computed against the original overflow so the
-    // eviction is fair regardless of map iteration order.
+    // eviction is fair regardless of iteration order.
     const std::size_t total_overflow = used_ - capacity_;
     std::size_t overflow = total_overflow;
     CG_ASSERT(others >= overflow, "eviction accounting broken in '%s'",
@@ -65,8 +85,8 @@ TaggedStructure::touch(DomainId d, std::size_t entries)
 std::size_t
 TaggedStructure::entriesOf(DomainId d) const
 {
-    auto it = held_.find(d);
-    return it == held_.end() ? 0 : it->second;
+    auto it = findShare(d);
+    return (it == held_.end() || it->dom != d) ? 0 : it->count;
 }
 
 std::size_t
@@ -90,10 +110,10 @@ TaggedStructure::flushAll()
 void
 TaggedStructure::flushDomain(DomainId d)
 {
-    auto it = held_.find(d);
-    if (it == held_.end())
+    auto it = findShare(d);
+    if (it == held_.end() || it->dom != d)
         return;
-    used_ -= it->second;
+    used_ -= it->count;
     held_.erase(it);
 }
 

@@ -23,11 +23,11 @@
 #define CG_HW_UARCH_HH
 
 #include <cstddef>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "hw/costs.hh"
+#include "sim/small_vec.hh"
 #include "sim/types.hh"
 
 namespace cg::hw {
@@ -78,11 +78,29 @@ class TaggedStructure
     Tick warmupCost(DomainId d, std::size_t footprint) const;
 
   private:
+    /** One domain's share of the structure's entries. */
+    struct DomainShare {
+        DomainId dom;
+        std::size_t count;
+    };
+
+    /**
+     * Shares, kept sorted by domain id. touch() runs on every
+     * scheduling quantum for six structures per core, so this is a
+     * flat inline vector (a handful of domains per structure) instead
+     * of a node-based map; the sorted order preserves the previous
+     * std::map iteration order, keeping eviction results bit-identical.
+     */
+    using ShareVec = sim::SmallVec<DomainShare, 8>;
+
+    ShareVec::iterator findShare(DomainId d);
+    ShareVec::const_iterator findShare(DomainId d) const;
+
     std::string name_;
     std::size_t capacity_;
     Tick refillPerEntry_;
     std::size_t used_ = 0;
-    std::map<DomainId, std::size_t> held_;
+    ShareVec held_;
 };
 
 /** Per-core private microarchitectural state. */

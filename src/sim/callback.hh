@@ -1,0 +1,146 @@
+/**
+ * @file
+ * EventFn: a move-only callable wrapper with small-buffer optimization,
+ * used for event-queue callbacks instead of std::function.
+ *
+ * Nearly every event callback in the simulator captures one or two
+ * pointers (a Process*, a component reference); std::function heap-
+ * allocates for some of these and drags in copyability machinery the
+ * queue never uses. EventFn stores any callable up to inlineSize bytes
+ * directly in the object (no allocation on schedule), falls back to the
+ * heap only for oversized captures, and is move-only, so it also accepts
+ * lambdas that capture move-only state.
+ */
+
+#ifndef CG_SIM_CALLBACK_HH
+#define CG_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cg::sim {
+
+/** Move-only `void()` callable with small-buffer optimization. */
+class EventFn
+{
+  public:
+    /**
+     * Callables at most this large (and suitably aligned) are inline.
+     * Sized for the dominant capture shape (one to three pointers)
+     * while keeping EventFn — and so the queue's slot pool — compact;
+     * bigger closures take the heap fallback.
+     */
+    static constexpr std::size_t inlineSize = 24;
+
+    EventFn() noexcept = default;
+    EventFn(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, EventFn> && std::is_invocable_v<D&>>>
+    EventFn(F&& f)
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            ::new (static_cast<void*>(buf_))
+                D*(new D(std::forward<F>(f)));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    EventFn(EventFn&& o) noexcept : ops_(o.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(o.buf_, buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    EventFn&
+    operator=(EventFn&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            ops_ = o.ops_;
+            if (ops_) {
+                ops_->relocate(o.buf_, buf_);
+                o.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn&) = delete;
+    EventFn& operator=(const EventFn&) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /** Drop the held callable (becomes empty). */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void* self);
+        /** Move-construct into @p dst and destroy @p src. */
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void* self) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool fitsInline =
+        sizeof(D) <= inlineSize &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D>
+    static constexpr Ops inlineOps = {
+        [](void* self) { (*std::launder(static_cast<D*>(self)))(); },
+        [](void* src, void* dst) noexcept {
+            D* s = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        },
+        [](void* self) noexcept {
+            std::launder(static_cast<D*>(self))->~D();
+        },
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps = {
+        [](void* self) { (**std::launder(static_cast<D**>(self)))(); },
+        [](void* src, void* dst) noexcept {
+            ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+        },
+        [](void* self) noexcept {
+            delete *std::launder(static_cast<D**>(self));
+        },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[inlineSize];
+    const Ops* ops_ = nullptr;
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_CALLBACK_HH

@@ -6,20 +6,99 @@
 
 namespace cg::sim {
 
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (!freeSlots_.empty()) {
+        const std::uint32_t idx = freeSlots_.back();
+        freeSlots_.pop_back();
+        return idx;
+    }
+    CG_ASSERT(slots_.size() < UINT32_MAX, "event slot pool exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t idx)
+{
+    Slot& s = slots_[idx];
+    s.fn.reset();
+    s.live = false;
+    ++s.gen; // invalidate outstanding ids / heap entries for this slot
+    freeSlots_.push_back(idx);
+}
+
+void
+EventQueue::heapPush(Entry e)
+{
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / heapArity;
+        if (!e.before(heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::heapPopTop()
+{
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0)
+        return;
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = heapArity * i + 1;
+        if (first >= n)
+            break;
+        const std::size_t end =
+            first + heapArity < n ? first + heapArity : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (heap_[c].before(heap_[best]))
+                best = c;
+        }
+        if (!heap_[best].before(last))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = last;
+}
+
 EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::schedule(Tick when, EventFn fn)
 {
     CG_ASSERT(when >= now_, "scheduling into the past: %llu < %llu",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    const EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    const std::uint32_t idx = acquireSlot();
+    Slot& s = slots_[idx];
+    s.fn = std::move(fn);
+    s.live = true;
+    const Entry e{when, nextSeq_++, idx, s.gen};
+    if (sortedHead_ == sorted_.size()) {
+        // Fully consumed: recycle the run. Anything may start it.
+        sorted_.clear();
+        sortedHead_ = 0;
+        sorted_.push_back(e);
+    } else if (!e.before(sorted_.back())) {
+        sorted_.push_back(e); // monotone arrival: O(1) fast path
+    } else {
+        heapPush(e); // out-of-order arrival
+    }
     ++live_;
-    return id;
+    return makeId(idx, s.gen);
 }
 
 EventId
-EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
+EventQueue::scheduleIn(Tick delay, EventFn fn)
 {
     CG_ASSERT(delay <= maxTick - now_, "tick overflow");
     return schedule(now_ + delay, std::move(fn));
@@ -30,54 +109,107 @@ EventQueue::cancel(EventId id)
 {
     if (id == invalidEventId)
         return false;
-    // We cannot remove from the heap cheaply; mark and skip on pop.
-    // Only mark if the id is plausibly pending.
-    if (id >= nextId_)
+    const std::uint64_t slot_plus1 = id & 0xffffffffULL;
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot_plus1 == 0 || slot_plus1 > slots_.size())
         return false;
-    auto [it, inserted] = cancelled_.insert(id);
-    (void)it;
-    if (inserted && live_ > 0) {
-        --live_;
-        return true;
+    const auto idx = static_cast<std::uint32_t>(slot_plus1 - 1);
+    Slot& s = slots_[idx];
+    if (!s.live || s.gen != gen)
+        return false; // already ran, already cancelled, or slot reused
+    releaseSlot(idx);
+    CG_ASSERT(live_ > 0, "cancel accounting underflow");
+    --live_;
+    return true;
+}
+
+const EventQueue::Entry*
+EventQueue::peekMin()
+{
+    // Drop stale (cancelled) entries from both candidate fronts.
+    while (sortedHead_ < sorted_.size() &&
+           !entryLive(sorted_[sortedHead_]))
+        ++sortedHead_;
+    while (!heap_.empty() && !entryLive(heap_[0]))
+        heapPopTop();
+
+    const bool has_sorted = sortedHead_ < sorted_.size();
+    const bool has_heap = !heap_.empty();
+    if (has_sorted && has_heap) {
+        return sorted_[sortedHead_].before(heap_[0]) ? &sorted_[sortedHead_]
+                                                     : &heap_[0];
     }
-    return false;
+    if (has_sorted)
+        return &sorted_[sortedHead_];
+    if (has_heap)
+        return &heap_[0];
+    if (!sorted_.empty()) {
+        sorted_.clear();
+        sortedHead_ = 0;
+    }
+    return nullptr;
+}
+
+void
+EventQueue::dropMin(const Entry* top)
+{
+    if (!heap_.empty() && top == &heap_[0]) {
+        heapPopTop();
+        return;
+    }
+    ++sortedHead_;
+    // Compact the consumed prefix once it dominates the run.
+    if (sortedHead_ >= 4096 && sortedHead_ * 2 >= sorted_.size()) {
+        sorted_.erase(sorted_.begin(),
+                      sorted_.begin() +
+                          static_cast<std::ptrdiff_t>(sortedHead_));
+        sortedHead_ = 0;
+    }
+}
+
+bool
+EventQueue::consumeOne()
+{
+    const Entry* top = peekMin();
+    if (!top)
+        return false;
+    const Entry e = *top;
+    dropMin(top);
+    CG_ASSERT(e.when >= now_, "event queue time went backwards");
+    now_ = e.when;
+    // Consume the slot before invoking: the callback may schedule
+    // (growing slots_) or try to cancel its own id (must fail).
+    EventFn fn = std::move(slots_[e.slot].fn);
+    releaseSlot(e.slot);
+    --live_;
+    fn();
+    return true;
 }
 
 bool
 EventQueue::step()
 {
-    while (!heap_.empty()) {
-        Entry e = std::move(const_cast<Entry&>(heap_.top()));
-        heap_.pop();
-        auto it = cancelled_.find(e.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
-            continue;
-        }
-        CG_ASSERT(e.when >= now_, "event queue time went backwards");
-        now_ = e.when;
-        --live_;
-        e.fn();
-        return true;
-    }
-    return false;
+    return consumeOne();
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap_.empty()) {
-        const Entry& top = heap_.top();
-        if (cancelled_.count(top.id)) {
-            cancelled_.erase(top.id);
-            heap_.pop();
-            continue;
-        }
-        if (top.when > limit) {
+    for (;;) {
+        const Entry* top = peekMin();
+        if (!top)
+            break;
+        if (top->when > limit) {
             now_ = limit;
             return now_;
         }
-        step();
+        const Entry e = *top;
+        dropMin(top);
+        now_ = e.when;
+        EventFn fn = std::move(slots_[e.slot].fn);
+        releaseSlot(e.slot);
+        --live_;
+        fn();
     }
     if (limit != maxTick && limit > now_)
         now_ = limit;

@@ -1,0 +1,96 @@
+#include "sim/parallel.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace cg::sim {
+
+unsigned
+ParallelRunner::defaultThreads()
+{
+    if (const char* env = std::getenv("CG_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid CG_THREADS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 4;
+}
+
+std::vector<std::uint64_t>
+ParallelRunner::deriveSeeds(std::uint64_t root, std::size_t n)
+{
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(n);
+    std::uint64_t state = root;
+    for (std::size_t i = 0; i < n; ++i)
+        seeds.push_back(splitmix64(state));
+    return seeds;
+}
+
+ParallelRunner::ParallelRunner(unsigned num_threads)
+{
+    const unsigned n = num_threads > 0 ? num_threads : defaultThreads();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ParallelRunner::~ParallelRunner()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    jobReady_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+void
+ParallelRunner::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        CG_ASSERT(!stopping_, "submit() on a stopping ParallelRunner");
+        jobs_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    jobReady_.notify_one();
+}
+
+void
+ParallelRunner::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ParallelRunner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            jobReady_.wait(lock, [this] {
+                return stopping_ || !jobs_.empty();
+            });
+            if (jobs_.empty())
+                return; // stopping and drained
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace cg::sim

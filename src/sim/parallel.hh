@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ParallelRunner: a thread pool for fanning *independent* Simulation
+ * instances across host cores.
+ *
+ * The discrete-event kernel itself is strictly single-threaded — one
+ * Simulation must only ever be driven from one thread. Experiment
+ * sweeps, however, run many Simulations that share nothing (one per
+ * (mode, core count, seed) point), and those parallelize perfectly.
+ *
+ * Determinism rules (see DESIGN.md, "Parallel sweeps"):
+ *  - every job must construct its own Simulation/Testbed and derive all
+ *    inputs (including the seed) from the job's index, never from
+ *    shared mutable state or thread identity;
+ *  - results are written to per-index slots, so collection order is
+ *    the submission order regardless of completion order;
+ *  - per-run seeds come from deriveSeeds(), a splitmix64 stream of the
+ *    root seed, computed *before* dispatch.
+ * Under these rules a sweep produces bit-identical simulated results
+ * for any thread count, including 1.
+ */
+
+#ifndef CG_SIM_PARALLEL_HH
+#define CG_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cg::sim {
+
+/** Fixed-size worker pool executing submitted jobs. */
+class ParallelRunner
+{
+  public:
+    /**
+     * @p num_threads 0 picks defaultThreads() (host parallelism,
+     * overridable with the CG_THREADS environment variable).
+     */
+    explicit ParallelRunner(unsigned num_threads = 0);
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner&) = delete;
+    ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue @p job; runs on some worker thread. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has completed. */
+    void wait();
+
+    /** Worker count used for num_threads == 0. */
+    static unsigned defaultThreads();
+
+    /**
+     * Derive @p n independent per-run seeds from @p root via a
+     * splitmix64 stream. Deterministic in (root, n) and independent of
+     * any thread scheduling; seed i is the i-th stream output.
+     */
+    static std::vector<std::uint64_t> deriveSeeds(std::uint64_t root,
+                                                  std::size_t n);
+
+    /**
+     * Run fn(i) for every i in [0, n) across a pool and return the
+     * results indexed by i. R must be default-constructible; each job
+     * writes only its own slot. This is the one-call form the sweep
+     * benches use.
+     */
+    template <typename R, typename Fn>
+    static std::vector<R>
+    mapIndexed(std::size_t n, Fn fn, unsigned num_threads = 0)
+    {
+        std::vector<R> results(n);
+        ParallelRunner pool(num_threads);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&results, &fn, i] { results[i] = fn(i); });
+        pool.wait();
+        return results;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> jobs_;
+    std::mutex mu_;
+    std::condition_variable jobReady_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0; // queued + currently executing
+    bool stopping_ = false;
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_PARALLEL_HH

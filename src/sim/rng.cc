@@ -6,8 +6,6 @@
 
 namespace cg::sim {
 
-namespace {
-
 std::uint64_t
 splitmix64(std::uint64_t& x)
 {
@@ -17,6 +15,8 @@ splitmix64(std::uint64_t& x)
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
 }
+
+namespace {
 
 std::uint64_t
 rotl(std::uint64_t x, int k)

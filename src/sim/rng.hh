@@ -18,6 +18,14 @@
 
 namespace cg::sim {
 
+/**
+ * Advance a splitmix64 state and return the next output. Used for Rng
+ * seeding and for deriving independent per-run seeds in sweeps (see
+ * ParallelRunner::deriveSeeds); exposed so seed derivation is identical
+ * everywhere.
+ */
+std::uint64_t splitmix64(std::uint64_t& state);
+
 /** xoshiro256++ PRNG with splitmix64 seeding. */
 class Rng
 {

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * SmallVec: a vector with inline storage for the first N elements.
+ *
+ * Used for collections that are almost always tiny (domains touching a
+ * microarchitectural structure, wait lists) where std::map/std::vector
+ * node or heap churn shows up in the simulator's hot paths. Elements
+ * stay contiguous; growing past N spills to the heap like std::vector.
+ */
+
+#ifndef CG_SIM_SMALL_VEC_HH
+#define CG_SIM_SMALL_VEC_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cg::sim {
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(N > 0, "SmallVec needs at least one inline element");
+
+  public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    SmallVec() noexcept : data_(inlinePtr()) {}
+
+    SmallVec(const SmallVec& o) : data_(inlinePtr()) { appendAll(o); }
+
+    SmallVec(SmallVec&& o) noexcept : data_(inlinePtr())
+    {
+        if (o.onHeap()) {
+            // Steal the heap buffer.
+            data_ = o.data_;
+            size_ = o.size_;
+            cap_ = o.cap_;
+            o.data_ = o.inlinePtr();
+            o.size_ = 0;
+            o.cap_ = N;
+        } else {
+            for (std::size_t i = 0; i < o.size_; ++i)
+                ::new (data_ + i) T(std::move(o.data_[i]));
+            size_ = o.size_;
+            o.clear();
+        }
+    }
+
+    SmallVec&
+    operator=(const SmallVec& o)
+    {
+        if (this != &o) {
+            clear();
+            appendAll(o);
+        }
+        return *this;
+    }
+
+    SmallVec&
+    operator=(SmallVec&& o) noexcept
+    {
+        if (this != &o) {
+            destroyAll();
+            if (o.onHeap()) {
+                data_ = o.data_;
+                size_ = o.size_;
+                cap_ = o.cap_;
+                o.data_ = o.inlinePtr();
+                o.size_ = 0;
+                o.cap_ = N;
+            } else {
+                data_ = inlinePtr();
+                for (std::size_t i = 0; i < o.size_; ++i)
+                    ::new (data_ + i) T(std::move(o.data_[i]));
+                size_ = o.size_;
+                o.clear();
+            }
+        }
+        return *this;
+    }
+
+    ~SmallVec() { destroyAll(); }
+
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return cap_; }
+
+    T* data() noexcept { return data_; }
+    const T* data() const noexcept { return data_; }
+
+    iterator begin() noexcept { return data_; }
+    iterator end() noexcept { return data_ + size_; }
+    const_iterator begin() const noexcept { return data_; }
+    const_iterator end() const noexcept { return data_ + size_; }
+
+    T& operator[](std::size_t i) noexcept { return data_[i]; }
+    const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+    T& front() noexcept { return data_[0]; }
+    T& back() noexcept { return data_[size_ - 1]; }
+
+    void
+    push_back(const T& v)
+    {
+        emplace_back(v);
+    }
+
+    void
+    push_back(T&& v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    T&
+    emplace_back(Args&&... args)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        T* p = ::new (data_ + size_) T(std::forward<Args>(args)...);
+        ++size_;
+        return *p;
+    }
+
+    /** Insert @p v before @p pos; returns an iterator to the element. */
+    iterator
+    insert(const_iterator pos, T v)
+    {
+        const std::size_t idx = static_cast<std::size_t>(pos - data_);
+        emplace_back(std::move(v)); // may reallocate
+        std::rotate(data_ + idx, data_ + size_ - 1, data_ + size_);
+        return data_ + idx;
+    }
+
+    /** Remove the element at @p pos, preserving order. */
+    iterator
+    erase(const_iterator pos)
+    {
+        const std::size_t idx = static_cast<std::size_t>(pos - data_);
+        std::move(data_ + idx + 1, data_ + size_, data_ + idx);
+        data_[size_ - 1].~T();
+        --size_;
+        return data_ + idx;
+    }
+
+    void
+    clear() noexcept
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            data_[i].~T();
+        size_ = 0;
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+  private:
+    T* inlinePtr() noexcept
+    {
+        return std::launder(reinterpret_cast<T*>(inline_));
+    }
+
+    bool onHeap() const noexcept
+    {
+        return data_ !=
+               std::launder(reinterpret_cast<const T*>(inline_));
+    }
+
+    void
+    grow(std::size_t new_cap)
+    {
+        new_cap = std::max(new_cap, cap_ * 2);
+        T* fresh = static_cast<T*>(
+            ::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (fresh + i) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        if (onHeap())
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+        data_ = fresh;
+        cap_ = new_cap;
+    }
+
+    void
+    destroyAll() noexcept
+    {
+        clear();
+        if (onHeap()) {
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+            data_ = inlinePtr();
+            cap_ = N;
+        }
+    }
+
+    void
+    appendAll(const SmallVec& o)
+    {
+        reserve(o.size_);
+        for (std::size_t i = 0; i < o.size_; ++i)
+            ::new (data_ + i) T(o.data_[i]);
+        size_ = o.size_;
+    }
+
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+    T* data_;
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_SMALL_VEC_HH

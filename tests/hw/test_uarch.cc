@@ -142,3 +142,44 @@ TEST(SharedUarch, HasLlcAndStagingBuffer)
     s.stagingBuffer.touch(vmA, 16);
     EXPECT_EQ(s.stagingBuffer.entriesOf(vmA), 16u);
 }
+
+// The domain shares moved from std::map to an inline flat vector; make
+// sure behaviour holds past the inline capacity (many domains) and that
+// eviction accounting stays exact through interleaved flushes.
+TEST(TaggedStructure, ManyDomainsSpillPastInlineStorage)
+{
+    TaggedStructure s("t", 1200, 1 * nsec);
+    for (DomainId d = 0; d < 24; ++d)
+        s.touch(d, 50); // 24 domains x 50 = capacity
+    EXPECT_EQ(s.used(), 1200u);
+    for (DomainId d = 0; d < 24; ++d)
+        EXPECT_EQ(s.entriesOf(d), 50u);
+    EXPECT_EQ(s.foreignEntries(3), 1150u);
+    // Flush odd domains and confirm used() tracks.
+    for (DomainId d = 1; d < 24; d += 2)
+        s.flushDomain(d);
+    EXPECT_EQ(s.used(), 600u);
+    for (DomainId d = 0; d < 24; ++d)
+        EXPECT_EQ(s.entriesOf(d), (d % 2 == 0) ? 50u : 0u);
+    // A new domain can still grow, evicting survivors.
+    s.touch(100, 1200);
+    EXPECT_EQ(s.entriesOf(100), 1200u);
+    EXPECT_EQ(s.used(), 1200u);
+    EXPECT_EQ(s.foreignEntries(100), 0u);
+}
+
+TEST(TaggedStructure, EvictionDeterministicAcrossIdenticalSequences)
+{
+    auto run_once = [] {
+        TaggedStructure s("t", 500, 1 * nsec);
+        // Touch in a non-sorted domain order to exercise sorted insert.
+        const DomainId order[] = {7, 2, 9, 4, 0, 5, 8, 1, 6, 3};
+        for (DomainId d : order)
+            s.touch(d, 90);
+        std::vector<std::size_t> held;
+        for (DomainId d = 0; d < 10; ++d)
+            held.push_back(s.entriesOf(d));
+        return held;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,137 @@
+/** @file Unit tests for the SBO callable wrapper EventFn. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "sim/callback.hh"
+
+using cg::sim::EventFn;
+
+namespace {
+
+/** Counts live instances to catch double-destroy / leaks. */
+struct Tracked {
+    static int live;
+    int* hits;
+
+    explicit Tracked(int* h) : hits(h) { ++live; }
+    Tracked(const Tracked& o) : hits(o.hits) { ++live; }
+    Tracked(Tracked&& o) noexcept : hits(o.hits) { ++live; }
+    ~Tracked() { --live; }
+
+    void operator()() const { ++*hits; }
+};
+
+int Tracked::live = 0;
+
+} // namespace
+
+TEST(EventFn, DefaultIsEmpty)
+{
+    EventFn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EventFn null_fn(nullptr);
+    EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(EventFn, InvokesSmallLambdaInline)
+{
+    int hits = 0;
+    EventFn fn([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, InvokesOversizedLambdaViaHeap)
+{
+    // Capture well past inlineSize to force the heap fallback.
+    std::array<std::uint64_t, 16> payload{};
+    payload[7] = 42;
+    int out = 0;
+    EventFn fn([payload, &out] {
+        out = static_cast<int>(payload[7]);
+    });
+    static_assert(sizeof(payload) > EventFn::inlineSize);
+    fn();
+    EXPECT_EQ(out, 42);
+}
+
+TEST(EventFn, AcceptsMoveOnlyCallable)
+{
+    auto p = std::make_unique<int>(5);
+    int out = 0;
+    EventFn fn([p = std::move(p), &out] { out = *p; });
+    fn();
+    EXPECT_EQ(out, 5);
+}
+
+TEST(EventFn, MoveTransfersOwnership)
+{
+    int hits = 0;
+    EventFn a([&hits] { ++hits; });
+    EventFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    EventFn c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, MoveAssignmentDestroysPreviousTarget)
+{
+    int hits_a = 0, hits_b = 0;
+    {
+        EventFn a(Tracked{&hits_a});
+        EventFn b(Tracked{&hits_b});
+        EXPECT_EQ(Tracked::live, 2);
+        a = std::move(b); // a's Tracked must be destroyed
+        EXPECT_EQ(Tracked::live, 1);
+        a();
+        EXPECT_EQ(hits_a, 0);
+        EXPECT_EQ(hits_b, 1);
+    }
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(EventFn, ResetDestroysAndEmpties)
+{
+    int hits = 0;
+    EventFn fn(Tracked{&hits});
+    EXPECT_EQ(Tracked::live, 1);
+    fn.reset();
+    EXPECT_EQ(Tracked::live, 0);
+    EXPECT_FALSE(static_cast<bool>(fn));
+    fn.reset(); // idempotent
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(EventFn, HeapFallbackDestroysExactlyOnce)
+{
+    int hits = 0;
+    struct Big {
+        Tracked t;
+        std::array<std::uint64_t, 8> pad{};
+        explicit Big(int* h) : t(h) {}
+        void operator()() const { t(); }
+    };
+    static_assert(sizeof(Big) > EventFn::inlineSize);
+    {
+        EventFn fn{Big{&hits}};
+        EXPECT_EQ(Tracked::live, 1);
+        EventFn other(std::move(fn));
+        EXPECT_EQ(Tracked::live, 1); // pointer move, no copy
+        other();
+        EXPECT_EQ(hits, 1);
+    }
+    EXPECT_EQ(Tracked::live, 0);
+}

@@ -140,3 +140,166 @@ TEST(EventQueue, CancelInsideEventCallback)
     q.run();
     EXPECT_FALSE(second_ran);
 }
+
+// Regression: the pre-slot-pool queue let cancel() of an id whose event
+// had already executed "succeed", undercounting pending() and leaking a
+// lazy-delete set entry.
+TEST(EventQueue, CancelAfterExecutionReturnsFalse)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10 * nsec, [&] { ran = true; });
+    q.run();
+    EXPECT_TRUE(ran);
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 0u);
+
+    // pending() must stay exact afterwards: a later event is still
+    // counted and still runs.
+    bool later = false;
+    q.schedule(20 * nsec, [&] { later = true; });
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_FALSE(q.cancel(id)); // still false on repeat
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_TRUE(later);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelAfterStepPopReturnsFalseTwice)
+{
+    EventQueue q;
+    EventId id = q.schedule(1 * nsec, [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelOwnIdInsideCallbackReturnsFalse)
+{
+    EventQueue q;
+    EventId self = invalidEventId;
+    bool cancelled_self = true;
+    self = q.schedule(5 * nsec, [&] {
+        cancelled_self = q.cancel(self);
+    });
+    q.run();
+    EXPECT_FALSE(cancelled_self);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, StaleIdOfRecycledSlotDoesNotCancelNewEvent)
+{
+    EventQueue q;
+    // Consume a slot, then schedule again (recycling it). The stale id
+    // must neither cancel nor disturb the new occupant.
+    EventId old_id = q.schedule(1 * nsec, [] {});
+    q.run();
+    bool ran = false;
+    EventId new_id = q.schedule(2 * nsec, [&] { ran = true; });
+    EXPECT_NE(old_id, new_id);
+    EXPECT_FALSE(q.cancel(old_id));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PendingStaysExactUnderScheduleCancelChurn)
+{
+    EventQueue q;
+    int ran = 0;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.schedule(Tick(i + 1) * nsec, [&] { ++ran; }));
+    // Cancel every third; re-cancel to confirm idempotence.
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+        EXPECT_TRUE(q.cancel(ids[i]));
+        EXPECT_FALSE(q.cancel(ids[i]));
+        ++cancelled;
+    }
+    EXPECT_EQ(q.pending(), 100u - cancelled);
+    q.run();
+    EXPECT_EQ(static_cast<std::size_t>(ran), 100u - cancelled);
+    EXPECT_EQ(q.pending(), 0u);
+    // Post-drain, every id is dead.
+    for (EventId id : ids)
+        EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, RunLimitEventsExactlyAtLimitRun)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10 * nsec, [&] { order.push_back(1); });
+    q.schedule(20 * nsec, [&] { order.push_back(2); });
+    q.schedule(20 * nsec, [&] { order.push_back(3); });
+    q.schedule(20 * nsec + 1, [&] { order.push_back(4); });
+    q.run(20 * nsec);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 20 * nsec);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunLimitAdvancesNowWhenQueueDrainsEarly)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(3 * nsec, [&] { ran = true; });
+    q.run(90 * nsec); // drains at t=3, then jumps to the limit
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.now(), 90 * nsec);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunWithoutLimitLeavesNowAtLastEvent)
+{
+    EventQueue q;
+    q.schedule(7 * nsec, [] {});
+    q.run();
+    EXPECT_EQ(q.now(), 7 * nsec);
+}
+
+// Out-of-order scheduling exercises the heap path; interleaved with
+// in-order (sorted-run) arrivals, the pop order must still be the
+// strict (when, insertion) total order.
+TEST(EventQueue, TieBreakAcrossInOrderAndOutOfOrderArrivals)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(50 * nsec, [&] { order.push_back(0); }); // run
+    q.schedule(10 * nsec, [&] { order.push_back(1); }); // heap
+    q.schedule(50 * nsec, [&] { order.push_back(2); }); // run (tie w/ 0)
+    q.schedule(10 * nsec, [&] { order.push_back(3); }); // heap (tie w/ 1)
+    q.schedule(60 * nsec, [&] { order.push_back(4); }); // run
+    q.schedule(30 * nsec, [&] { order.push_back(5); }); // heap
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 0, 2, 4}));
+}
+
+TEST(EventQueue, DeterministicOrderUnderHeavyChurnWithCancels)
+{
+    // Two identical schedules of interleaved in/out-of-order events
+    // with cancellations must execute in the identical order.
+    auto run_once = [] {
+        EventQueue q;
+        std::vector<int> order;
+        std::vector<EventId> ids;
+        for (int i = 0; i < 200; ++i) {
+            // Times bounce around to mix the sorted run and the heap.
+            const Tick t = Tick((i * 37) % 101) * nsec;
+            ids.push_back(
+                q.schedule(t, [&order, i] { order.push_back(i); }));
+        }
+        for (int i = 0; i < 200; i += 5)
+            q.cancel(ids[static_cast<std::size_t>(i)]);
+        q.run();
+        return order;
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 160u);
+}

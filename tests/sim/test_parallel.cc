@@ -1,0 +1,120 @@
+/** @file Unit tests for ParallelRunner and deterministic sweep fanning. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+using namespace cg::sim;
+
+TEST(ParallelRunner, RunsEverySubmittedJob)
+{
+    std::atomic<int> count{0};
+    ParallelRunner pool(4);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelRunner, WaitWithNoJobsReturnsImmediately)
+{
+    ParallelRunner pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ParallelRunner, WaitCanBeReusedAcrossBatches)
+{
+    std::atomic<int> count{0};
+    ParallelRunner pool(3);
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ParallelRunner, MapIndexedReturnsResultsInIndexOrder)
+{
+    const auto out = ParallelRunner::mapIndexed<int>(
+        64, [](std::size_t i) { return static_cast<int>(i * i); }, 4);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelRunner, SingleThreadPoolStillCompletes)
+{
+    const auto out = ParallelRunner::mapIndexed<int>(
+        10, [](std::size_t i) { return static_cast<int>(i) + 1; }, 1);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 55);
+}
+
+TEST(ParallelRunner, DeriveSeedsIsDeterministicAndDistinct)
+{
+    const auto a = ParallelRunner::deriveSeeds(0xc0ffee, 16);
+    const auto b = ParallelRunner::deriveSeeds(0xc0ffee, 16);
+    EXPECT_EQ(a, b);
+    const auto c = ParallelRunner::deriveSeeds(0xdead, 16);
+    EXPECT_NE(a, c);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = i + 1; j < a.size(); ++j)
+            EXPECT_NE(a[i], a[j]);
+    }
+    // A longer stream starts with the same prefix (stream property).
+    const auto longer = ParallelRunner::deriveSeeds(0xc0ffee, 32);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(longer[i], a[i]);
+}
+
+namespace {
+
+/** A tiny simulation whose end state depends only on its seed. */
+std::uint64_t
+seededRun(std::uint64_t seed)
+{
+    Simulation s(seed);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 50; ++i) {
+        const Tick when = s.rng().jittered(Tick(i + 1) * usec, 0.1);
+        s.queue().schedule(when, [&acc, &s] { acc ^= s.rng().next64(); });
+    }
+    s.run();
+    return acc ^ s.now();
+}
+
+} // namespace
+
+TEST(ParallelRunner, ParallelSimulationsMatchSerialBitForBit)
+{
+    const auto seeds = ParallelRunner::deriveSeeds(0x5eed, 12);
+
+    std::vector<std::uint64_t> serial;
+    for (std::uint64_t seed : seeds)
+        serial.push_back(seededRun(seed));
+
+    const auto par4 = ParallelRunner::mapIndexed<std::uint64_t>(
+        seeds.size(), [&](std::size_t i) { return seededRun(seeds[i]); },
+        4);
+    EXPECT_EQ(par4, serial);
+
+    const auto par1 = ParallelRunner::mapIndexed<std::uint64_t>(
+        seeds.size(), [&](std::size_t i) { return seededRun(seeds[i]); },
+        1);
+    EXPECT_EQ(par1, serial);
+}
+
+TEST(ParallelRunner, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ParallelRunner::defaultThreads(), 1u);
+    ParallelRunner pool; // default-sized pool constructs and joins
+    EXPECT_GE(pool.threads(), 1u);
+}

@@ -1,0 +1,131 @@
+/** @file Unit tests for the inline-storage vector SmallVec. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "sim/small_vec.hh"
+
+using cg::sim::SmallVec;
+
+TEST(SmallVec, StartsEmptyWithInlineCapacity)
+{
+    SmallVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVec, PushBackWithinInlineStorage)
+{
+    SmallVec<int, 4> v;
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i * 10);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_EQ(v.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(SmallVec, SpillsToHeapPreservingElements)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 40; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 40u);
+    EXPECT_GE(v.capacity(), 40u);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, WorksWithNonTrivialElementType)
+{
+    SmallVec<std::string, 2> v;
+    v.push_back("alpha");
+    v.push_back("beta");
+    v.push_back(std::string(100, 'x')); // forces heap growth
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "alpha");
+    EXPECT_EQ(v[1], "beta");
+    EXPECT_EQ(v[2], std::string(100, 'x'));
+}
+
+TEST(SmallVec, InsertKeepsOrder)
+{
+    SmallVec<int, 4> v;
+    v.push_back(1);
+    v.push_back(3);
+    auto it = v.insert(v.begin() + 1, 2);
+    EXPECT_EQ(*it, 2);
+    v.insert(v.begin(), 0);
+    v.insert(v.end(), 4); // also across the spill boundary
+    ASSERT_EQ(v.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, EraseShiftsDown)
+{
+    SmallVec<int, 8> v;
+    for (int i = 0; i < 5; ++i)
+        v.push_back(i);
+    auto it = v.erase(v.begin() + 2);
+    EXPECT_EQ(*it, 3);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v[1], 1);
+    EXPECT_EQ(v[2], 3);
+    EXPECT_EQ(v[3], 4);
+    v.erase(v.begin() + 3); // erase last
+    EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SmallVec, CopyAndMoveSemantics)
+{
+    SmallVec<std::string, 2> a;
+    a.push_back("one");
+    a.push_back("two");
+    a.push_back("three"); // on heap
+
+    SmallVec<std::string, 2> copy(a);
+    EXPECT_EQ(copy.size(), 3u);
+    EXPECT_EQ(copy[2], "three");
+    EXPECT_EQ(a.size(), 3u); // source untouched
+
+    SmallVec<std::string, 2> moved(std::move(a));
+    EXPECT_EQ(moved.size(), 3u);
+    EXPECT_EQ(moved[0], "one");
+    EXPECT_EQ(a.size(), 0u); // moved-from is empty but usable
+    a.push_back("again");
+    EXPECT_EQ(a[0], "again");
+
+    SmallVec<std::string, 2> assigned;
+    assigned = copy;
+    EXPECT_EQ(assigned.size(), 3u);
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned.size(), 3u);
+    EXPECT_EQ(assigned[1], "two");
+}
+
+TEST(SmallVec, ClearAllowsReuse)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 10; ++i)
+        v.push_back(i);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(99);
+    EXPECT_EQ(v[0], 99);
+}
+
+TEST(SmallVec, IterationMatchesContents)
+{
+    SmallVec<int, 4> v;
+    int sum = 0;
+    for (int i = 1; i <= 6; ++i)
+        v.push_back(i);
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 21);
+}
