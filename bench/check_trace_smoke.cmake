@@ -1,0 +1,31 @@
+# Validates the bench_trace_smoke outputs: the trace file must be a
+# Chrome trace_event JSON object and the stats dump must be non-empty.
+# Run as: cmake -DTRACE=<path> -DSTATS=<path> -P check_trace_smoke.cmake
+
+foreach(var TRACE STATS)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=<path>")
+    endif()
+    if(NOT EXISTS "${${var}}")
+        message(FATAL_ERROR "missing output file: ${${var}}")
+    endif()
+endforeach()
+
+file(READ "${TRACE}" trace_body)
+if(NOT trace_body MATCHES "^\\{\"traceEvents\": \\[")
+    message(FATAL_ERROR "trace is not trace_event object format")
+endif()
+if(NOT trace_body MATCHES "\"displayTimeUnit\"")
+    message(FATAL_ERROR "trace is missing displayTimeUnit")
+endif()
+if(NOT trace_body MATCHES "\"ph\": \"M\"")
+    message(FATAL_ERROR "trace has no metadata events")
+endif()
+
+file(READ "${STATS}" stats_body)
+string(LENGTH "${stats_body}" stats_len)
+if(stats_len EQUAL 0)
+    message(FATAL_ERROR "stats dump is empty")
+endif()
+
+message(STATUS "trace + stats smoke outputs look good")

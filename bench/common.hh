@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/trace.hh"
+
 namespace cg::bench {
 
 /** One paper-vs-measured data point, for the JSON report. */
@@ -83,22 +85,40 @@ writeJsonReport()
 } // namespace detail
 
 /**
- * Parse common harness flags (currently `--json <path>`) and register
- * the JSON report writer to run at exit. Call first in main().
+ * Parse common harness flags and register the JSON report writer to
+ * run at exit. Call first in main().
+ *
+ *   --json <path>    write the compareRow()/jsonRow() points as JSON
+ *   --stats <path>   dump the stats registry of the first Testbed the
+ *                    run constructs (".json" suffix selects JSON)
+ *   --trace <path>   record that Testbed's tracepoints and write them
+ *                    as Chrome trace_event JSON (chrome://tracing)
  */
 inline void
 initHarness(int argc, char** argv)
 {
     const char* slash = std::strrchr(argv[0], '/');
     detail::bench_name = slash ? slash + 1 : argv[0];
+    std::string stats_path;
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             detail::json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats") == 0 &&
+                   i + 1 < argc) {
+            stats_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--json <path>] [--stats <path>] "
+                         "[--trace <path>]\n",
+                         argv[0]);
             std::exit(2);
         }
     }
+    cg::sim::ObservabilityRequest::configure(stats_path, trace_path);
     std::atexit(detail::writeJsonReport);
 }
 

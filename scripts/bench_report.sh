@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Build the Release tree, run every table/figure benchmark with
+# --json, and merge the per-bench reports into one BENCH_PR<N>.json
+# at the repo root (a flat JSON array of
+# {bench, metric, paper, measured} rows) so successive PRs can track
+# the perf trajectory mechanically.
+#
+# Usage: scripts/bench_report.sh <pr-number> [build-dir]
+#   e.g. scripts/bench_report.sh 2        -> BENCH_PR2.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: $0 <pr-number> [build-dir]" >&2
+    exit 2
+fi
+PR="$1"
+BUILD_DIR="${2:-build-release}"
+OUT="BENCH_PR${PR}.json"
+REPORT_DIR="$BUILD_DIR/bench-reports"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+mkdir -p "$REPORT_DIR"
+
+BENCHES=(
+    table2_rmm_call_latency
+    table3_vipi_latency
+    table4_exit_counts
+    table5_redis
+    fig6_coremark_scaling
+    fig7_multi_vm
+    fig8_netpipe
+    fig9_iozone
+    fig10_kernel_build
+)
+
+for bench in "${BENCHES[@]}"; do
+    echo "== $bench"
+    "$BUILD_DIR/bench/$bench" --json "$REPORT_DIR/$bench.json"
+done
+
+# Merge the per-bench JSON arrays into one array. The files are our
+# own writeJsonReport() output ("[", rows, "]"), so stripping the
+# brackets line-wise and re-joining with commas is exact.
+{
+    echo "["
+    first=1
+    for bench in "${BENCHES[@]}"; do
+        f="$REPORT_DIR/$bench.json"
+        [[ -s $f ]] || continue
+        # Interior lines only; ensure the previous bench's last row
+        # gets a trailing comma.
+        rows=$(sed '1d;$d' "$f")
+        [[ -n $rows ]] || continue
+        if [[ $first -eq 0 ]]; then
+            echo ","
+        fi
+        first=0
+        # The last row of each file has no trailing comma; keep as is.
+        printf '%s' "$rows"
+        echo
+    done
+    echo "]"
+} > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"metric"' "$OUT") rows)"

@@ -2,12 +2,29 @@
 
 #include <algorithm>
 
+#include "sim/simulation.hh"
+
 namespace cg::core {
 
 ExitDoorbell::ExitDoorbell(host::Kernel& kernel)
     : kernel_(kernel), ipi_(kernel.allocateIpi())
 {
     kernel_.setIpiHandler(ipi_, [this](sim::CoreId c) { onIpi(c); });
+}
+
+ExitDoorbell::~ExitDoorbell()
+{
+    // The handler installed above captures `this`; an IPI delivered
+    // after our death (e.g. one still in flight through the GIC at
+    // teardown) must find no handler rather than a dangling one.
+    kernel_.clearIpiHandler(ipi_);
+}
+
+void
+ExitDoorbell::registerStats(sim::StatRegistry& reg)
+{
+    statGroup_.attach(reg, "doorbell");
+    statGroup_.add("rings", rings_);
 }
 
 std::uint64_t
@@ -33,13 +50,17 @@ ExitDoorbell::unsubscribe(sim::CoreId core, std::uint64_t id)
 void
 ExitDoorbell::ring(sim::CoreId core)
 {
-    ++rings_;
+    rings_.inc();
+    kernel_.sim().tracer().instant("doorbell-ring",
+                                   sim::Tracer::coresPid, core);
     kernel_.sendIpi(core, ipi_);
 }
 
 void
 ExitDoorbell::onIpi(sim::CoreId core)
 {
+    kernel_.sim().tracer().instant("doorbell-wake",
+                                   sim::Tracer::coresPid, core);
     auto it = subs_.find(core);
     if (it == subs_.end())
         return;

@@ -26,6 +26,10 @@ class ExitDoorbell
     using Handler = std::function<void()>;
 
     explicit ExitDoorbell(host::Kernel& kernel);
+    ~ExitDoorbell();
+
+    ExitDoorbell(const ExitDoorbell&) = delete;
+    ExitDoorbell& operator=(const ExitDoorbell&) = delete;
 
     /**
      * Subscribe a wake-up handler for rings on @p core. Handlers must
@@ -41,7 +45,10 @@ class ExitDoorbell
     void ring(sim::CoreId core);
 
     int ipiNumber() const { return ipi_; }
-    std::uint64_t rings() const { return rings_; }
+    std::uint64_t rings() const { return rings_.value(); }
+
+    /** Register the doorbell's counters under "doorbell." in @p reg. */
+    void registerStats(sim::StatRegistry& reg);
 
   private:
     void onIpi(sim::CoreId core);
@@ -51,7 +58,8 @@ class ExitDoorbell
     std::map<sim::CoreId,
              std::vector<std::pair<std::uint64_t, Handler>>> subs_;
     std::uint64_t nextSubId_ = 1;
-    std::uint64_t rings_ = 0;
+    sim::Counter rings_;
+    sim::StatGroup statGroup_;
 };
 
 } // namespace cg::core

@@ -35,6 +35,7 @@ GappedVm::GappedVm(vmm::KvmVm& kvm, ExitDoorbell& doorbell,
     }
     if (cfg_.hostCores.empty())
         sim::fatal("GappedVm needs at least one host core");
+    syncRpc_.setTraceDomain(kvm_.guestVm().domain());
     for (int i = 0; i < n; ++i) {
         slots_.push_back(std::make_unique<RunSlot>(
             kvm_.kernel().machine(), monitorWork_));
@@ -73,6 +74,16 @@ GappedVm::~GappedVm()
         if (p)
             p->kill();
     }
+}
+
+void
+GappedVm::registerStats(sim::StatRegistry& reg)
+{
+    statGroup_.attach(reg, "gapped." + kvm_.guestVm().name());
+    statGroup_.add("runToRun", runToRun_);
+    statGroup_.add("runCallRtt", runCallRtt_);
+    statGroup_.add("directInjections", directInjections_);
+    statGroup_.add("syncRpcServed", syncRpc_.servedStat());
 }
 
 sim::Proc<void>
@@ -219,7 +230,7 @@ GappedVm::monitorCoreLoop(int idx, sim::CoreId core, std::uint64_t gen)
         if (hw::isSpi(id)) {
             auto it = directIrqs_.find(id);
             if (it != directIrqs_.end() && it->second.first == idx) {
-                ++directInjections_;
+                directInjections_.inc();
                 v.injectVirq(it->second.second);
                 return;
             }

@@ -99,7 +99,13 @@ class GappedVm
     void mapDirectIrq(hw::IntId spi, hw::IntId virq, int vcpu_idx);
 
     /** Virtual interrupts delivered directly by the monitor (stat). */
-    std::uint64_t directInjections() const { return directInjections_; }
+    std::uint64_t directInjections() const
+    {
+        return directInjections_.value();
+    }
+
+    /** Register this runner's stats under "gapped.<vm>." in @p reg. */
+    void registerStats(sim::StatRegistry& reg);
 
     /**
      * Host-initiated suspend (section 7 lists it among the VM
@@ -157,7 +163,8 @@ class GappedVm
     sim::LatencyStat runCallRtt_;
     /** spi -> (vcpu index, virq) for direct delivery. */
     std::map<hw::IntId, std::pair<int, hw::IntId>> directIrqs_;
-    std::uint64_t directInjections_ = 0;
+    sim::Counter directInjections_;
+    sim::StatGroup statGroup_;
     bool suspended_ = false;
 };
 

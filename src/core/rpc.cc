@@ -9,6 +9,29 @@ using sim::Delay;
 
 // ------------------------------------------------------------ SyncRpcQueue
 
+SyncRpcQueue::~SyncRpcQueue()
+{
+    // Cancel in-flight wire events so they never touch freed memory
+    // (the poke callbacks reference both this queue and the external
+    // monitor Notify; either may be gone by the time they would fire).
+    sim::EventQueue& q = machine_.sim().queue();
+    for (const PendingPoke& p : pendingPokes_)
+        q.cancel(p.ev);
+}
+
+void
+SyncRpcQueue::completePoke(std::uint64_t token)
+{
+    for (auto it = pendingPokes_.begin(); it != pendingPokes_.end();
+         ++it) {
+        if (it->token == token) {
+            pendingPokes_.erase(it);
+            break;
+        }
+    }
+    monitorPoke_.notifyAll();
+}
+
 Proc<rmm::RmiStatus>
 SyncRpcQueue::call(std::function<rmm::RmiStatus()> op)
 {
@@ -18,9 +41,13 @@ SyncRpcQueue::call(std::function<rmm::RmiStatus()> op)
     // The argument cache line travels to the polling monitor core.
     sim::Simulation& sim = machine_.sim();
     const hw::Costs& costs = machine_.costs();
-    sim::Notify& mn = monitorPoke_;
-    sim.queue().scheduleIn(machine_.cost(costs.cacheLineTransfer),
-                           [&mn] { mn.notifyAll(); });
+    sim.tracer().instant("syncrpc-post", sim::Tracer::domainsPid,
+                         traceDomain_);
+    const std::uint64_t tok = nextPokeToken_++;
+    const sim::EventId ev = sim.queue().scheduleIn(
+        machine_.cost(costs.cacheLineTransfer),
+        [this, tok] { completePoke(tok); });
+    pendingPokes_.push_back({tok, ev});
     // Busy-wait for the response: the host thread spins (and thus
     // consumes CPU) until the response line arrives.
     while (!call->done)
@@ -35,6 +62,8 @@ SyncRpcQueue::serviceOne()
         co_return;
     std::shared_ptr<SyncCall> call = queue_.front();
     queue_.pop_front();
+    machine_.sim().tracer().instant(
+        "syncrpc-pickup", sim::Tracer::domainsPid, traceDomain_);
     const hw::Costs& costs = machine_.costs();
     // Poll pickup, handler body, response line back to the caller.
     co_await Compute{machine_.cost(costs.pollReaction) +
@@ -42,7 +71,9 @@ SyncRpcQueue::serviceOne()
     call->result = call->op();
     co_await Delay{machine_.cost(costs.cacheLineTransfer)};
     call->done = true;
-    ++served_;
+    served_.inc();
+    machine_.sim().tracer().instant(
+        "syncrpc-response", sim::Tracer::domainsPid, traceDomain_);
 }
 
 // ----------------------------------------------------------------- RunSlot

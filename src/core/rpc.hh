@@ -21,9 +21,11 @@
 #ifndef CG_CORE_RPC_HH
 #define CG_CORE_RPC_HH
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "hw/machine.hh"
 #include "rmm/rmm.hh"
@@ -58,6 +60,11 @@ class SyncRpcQueue
         : machine_(m), monitorPoke_(monitor_poke)
     {}
 
+    ~SyncRpcQueue();
+
+    SyncRpcQueue(const SyncRpcQueue&) = delete;
+    SyncRpcQueue& operator=(const SyncRpcQueue&) = delete;
+
     /** Host side: post and busy-wait (caller is a host thread). */
     Proc<rmm::RmiStatus> call(std::function<rmm::RmiStatus()> op);
 
@@ -67,13 +74,29 @@ class SyncRpcQueue
     /** Monitor side: service one call (charges handler+response). */
     Proc<void> serviceOne();
 
-    std::uint64_t callsServed() const { return served_; }
+    std::uint64_t callsServed() const { return served_.value(); }
+    const sim::Counter& servedStat() const { return served_; }
+
+    /** VM-domain trace track for this queue's tracepoints. */
+    void setTraceDomain(int domain) { traceDomain_ = domain; }
 
   private:
+    /** A wire-delay poke event that has not fired yet. */
+    struct PendingPoke {
+        std::uint64_t token;
+        sim::EventId ev;
+    };
+
+    void completePoke(std::uint64_t token);
+
     hw::Machine& machine_;
     sim::Notify& monitorPoke_;
     std::deque<std::shared_ptr<SyncCall>> queue_;
-    std::uint64_t served_ = 0;
+    sim::Counter served_;
+    int traceDomain_ = 0;
+    /** In-flight wire events, cancelled if we are destroyed first. */
+    std::vector<PendingPoke> pendingPokes_;
+    std::uint64_t nextPokeToken_ = 1;
 };
 
 /** RmiTransport backed by a SyncRpcQueue (for KvmVm::cvmMapPage). */

@@ -13,4 +13,18 @@ Vm::Vm(hw::Machine& machine, VmConfig cfg, sim::DomainId domain)
         vcpus_.push_back(std::make_unique<VCpu>(*this, i));
 }
 
+void
+Vm::registerStats(sim::StatRegistry& reg)
+{
+    statGroup_.attach(reg, "guest." + cfg_.name);
+    for (int i = 0; i < numVcpus(); ++i) {
+        VCpu& v = vcpu(i);
+        const std::string leaf = "vcpu" + std::to_string(i);
+        statGroup_.add(leaf + ".ticksHandled", v.ticksHandled);
+        statGroup_.add(leaf + ".virqsHandled", v.virqsHandled);
+        statGroup_.add(leaf + ".exitsGenerated", v.exitsGenerated);
+        statGroup_.addValue(leaf + ".guestCpuTime", v.guestCpuTime);
+    }
+}
+
 } // namespace cg::guest

@@ -16,6 +16,7 @@
 
 #include "guest/vcpu.hh"
 #include "hw/machine.hh"
+#include "sim/stat_registry.hh"
 
 namespace cg::guest {
 
@@ -47,12 +48,16 @@ class Vm
     bool confidential() const { return confidential_; }
     void setConfidential(bool c) { confidential_ = c; }
 
+    /** Register per-vCPU stats under "guest.<name>.vcpuN." in @p reg. */
+    void registerStats(sim::StatRegistry& reg);
+
   private:
     hw::Machine& machine_;
     VmConfig cfg_;
     sim::DomainId domain_;
     bool confidential_ = false;
     std::vector<std::unique_ptr<VCpu>> vcpus_;
+    sim::StatGroup statGroup_;
 };
 
 } // namespace cg::guest

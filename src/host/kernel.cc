@@ -58,6 +58,17 @@ Kernel::sim()
     return machine_.sim();
 }
 
+void
+Kernel::registerStats(sim::StatRegistry& reg)
+{
+    statGroup_.attach(reg, "host");
+    statGroup_.add("contextSwitches", stats_.contextSwitches);
+    statGroup_.add("migrations", stats_.migrations);
+    statGroup_.add("ipis", stats_.ipis);
+    statGroup_.add("irqs", stats_.irqs);
+    statGroup_.add("hotplugOps", stats_.hotplugOps);
+}
+
 // ---------------------------------------------------------------- threads
 
 Thread&
@@ -646,6 +657,7 @@ Kernel::offlineCoreImpl(CoreId c)
     CoreSched& cs = cores_[static_cast<size_t>(c)];
     cs.online = false;
     stats_.hotplugOps.inc();
+    sim().tracer().instant("hotplug-offline", sim::Tracer::coresPid, c);
     migrateThreadsAway(c);
     // Retarget device interrupts at the first remaining online core.
     CoreId fallback = 0;
@@ -677,6 +689,7 @@ Proc<void>
 Kernel::onlineCoreImpl(CoreId c)
 {
     stats_.hotplugOps.inc();
+    sim().tracer().instant("hotplug-online", sim::Tracer::coresPid, c);
     co_await sim::Delay{machine_.cost(machine_.costs().hotplugOnline)};
     CoreSched& cs = cores_[static_cast<size_t>(c)];
     cs.online = true;
@@ -702,6 +715,8 @@ void
 Kernel::sendIpi(CoreId target, int ipi)
 {
     stats_.ipis.inc();
+    sim().tracer().instant("ipi-send", sim::Tracer::coresPid, target,
+                           "ipi", static_cast<std::uint64_t>(ipi));
     machine_.gic().sendSgi(target, ipi);
 }
 
@@ -709,6 +724,12 @@ void
 Kernel::setIpiHandler(int ipi, std::function<void(CoreId)> fn)
 {
     ipiHandlers_[ipi] = std::move(fn);
+}
+
+void
+Kernel::clearIpiHandler(int ipi)
+{
+    ipiHandlers_.erase(ipi);
 }
 
 void

@@ -23,6 +23,7 @@
 #include "host/cpumask.hh"
 #include "hw/machine.hh"
 #include "sim/proc.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 
 namespace cg::host {
@@ -162,6 +163,9 @@ class Kernel : public sim::Dispatcher
     sim::Simulation& sim();
     KernelStats& stats() { return stats_; }
 
+    /** Register the kernel's counters under "host." in @p reg. */
+    void registerStats(sim::StatRegistry& reg);
+
     /** @{ Threads. */
     Thread& createThread(std::string name, Proc<void> body,
                          SchedClass cls = SchedClass::Fair,
@@ -211,6 +215,13 @@ class Kernel : public sim::Dispatcher
 
     /** Register the handler run (in IRQ context) for IPI @p ipi. */
     void setIpiHandler(int ipi, std::function<void(CoreId)> fn);
+
+    /**
+     * Remove a previously registered IPI handler. Owners whose handler
+     * captures `this` must call this before they are destroyed, or a
+     * later IPI dispatches into freed memory.
+     */
+    void clearIpiHandler(int ipi);
 
     /** Register a handler for a device SPI. */
     void setIrqHandler(hw::IntId spi, std::function<void(CoreId)> fn);
@@ -269,6 +280,7 @@ class Kernel : public sim::Dispatcher
     std::map<hw::IntId, std::function<void(CoreId)>> irqHandlers_;
     int nextIpi_ = 8; // SGIs 0-7 modelled as reserved by Linux
     KernelStats stats_;
+    sim::StatGroup statGroup_;
 };
 
 /** Awaitable for Kernel::yield(). */

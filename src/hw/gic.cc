@@ -97,10 +97,22 @@ Gic::clearSink(CoreId core)
 }
 
 void
+Gic::registerStats(sim::StatRegistry& reg)
+{
+    statGroup_.attach(reg, "hw.gic");
+    statGroup_.add("delivered", delivered_);
+}
+
+void
 Gic::deliver(CoreId core, IntId id)
 {
     PerCore& pc = percore_.at(core);
-    ++delivered_;
+    delivered_.inc();
+    if (isSgi(id)) {
+        sim_.tracer().instant("ipi-deliver", sim::Tracer::coresPid,
+                              core, "ipi",
+                              static_cast<std::uint64_t>(id));
+    }
     if (pc.sink)
         pc.sink(id);
     else

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "hw/costs.hh"
+#include "sim/stat_registry.hh"
 #include "sim/types.hh"
 
 namespace cg::sim {
@@ -142,7 +143,10 @@ class Gic
     }
 
     /** Total interrupts delivered (stat). */
-    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t delivered() const { return delivered_.value(); }
+
+    /** Register the GIC's counters under "hw.gic." in @p reg. */
+    void registerStats(sim::StatRegistry& reg);
 
   private:
     struct PerCore {
@@ -157,7 +161,8 @@ class Gic
     const Costs& costs_;
     std::vector<PerCore> percore_;
     std::map<IntId, CoreId> spiRoutes_;
-    std::uint64_t delivered_ = 0;
+    sim::Counter delivered_;
+    sim::StatGroup statGroup_;
 };
 
 } // namespace cg::hw

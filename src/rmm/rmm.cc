@@ -16,6 +16,23 @@ Rmm::cost(Tick nominal)
     return machine_.cost(nominal);
 }
 
+void
+Rmm::registerStats(sim::StatRegistry& reg)
+{
+    statGroup_.attach(reg, "rmm");
+    statGroup_.add("exitsToHost", stats_.exitsToHost);
+    statGroup_.add("irqRelatedExitsToHost", stats_.irqRelatedExitsToHost);
+    statGroup_.add("delegatedTimerEvents", stats_.delegatedTimerEvents);
+    statGroup_.add("delegatedIpis", stats_.delegatedIpis);
+    statGroup_.add("localWfiWaits", stats_.localWfiWaits);
+    statGroup_.add("rmiCalls", stats_.rmiCalls);
+    statGroup_.add("wrongCoreRejections", stats_.wrongCoreRejections);
+    statGroup_.add("rebinds", stats_.rebinds);
+    statGroup_.add("rebindsRefused", stats_.rebindsRefused);
+    statGroup_.add("rsiCalls", stats_.rsiCalls);
+    statGroup_.add("filteredInjections", stats_.filteredInjections);
+}
+
 // --------------------------------------------------------------- granules
 
 RmiStatus
@@ -298,6 +315,9 @@ Rmm::recRebind(int realm_id, int rec_id, CoreId new_core)
     rec->boundCore = new_core;
     rec->lastRebind = now;
     stats_.rebinds.inc();
+    machine_.sim().tracer().instant(
+        "vcpu-rebind", sim::Tracer::coresPid, new_core, "realm",
+        static_cast<std::uint64_t>(realm_id));
     return RmiStatus::Success;
 }
 
@@ -348,6 +368,8 @@ Rmm::recEnter(int realm_id, int rec_id, RecEnterArgs args, CoreId core,
         dedicated_[core] = {realm_id, rec_id};
     }
     rec.state = RecState::Running;
+    machine_.sim().tracer().begin("rec-run", sim::Tracer::coresPid,
+                                  core);
     GuestContext& g = *rec.guest;
 
     const hw::Costs& costs = machine_.costs();
@@ -443,6 +465,8 @@ Rmm::recEnter(int realm_id, int rec_id, RecEnterArgs args, CoreId core,
     stats_.exitsToHost.inc();
     if (exit.interruptRelated())
         stats_.irqRelatedExitsToHost.inc();
+    machine_.sim().tracer().end("rec-run", sim::Tracer::coresPid, core,
+                                "exit", exitReasonName(exit.reason));
     co_return res;
 }
 

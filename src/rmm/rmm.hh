@@ -36,6 +36,7 @@
 #include "rmm/guest_context.hh"
 #include "rmm/measurement.hh"
 #include "rmm/rtt.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 
 namespace cg::rmm {
@@ -149,6 +150,9 @@ class Rmm
 
     const RmmConfig& config() const { return cfg_; }
     RmmStats& stats() { return stats_; }
+
+    /** Register the monitor's counters under "rmm." in @p reg. */
+    void registerStats(sim::StatRegistry& reg);
     GranuleTracker& granules() { return granules_; }
     hw::Machine& machine() { return machine_; }
 
@@ -231,6 +235,7 @@ class Rmm
     std::map<CoreId, std::pair<int, int>> dedicated_;
     AttestationAuthority authority_;
     RmmStats stats_;
+    sim::StatGroup statGroup_;
     sim::DomainId nextDomain_ = sim::firstVmDomain;
 };
 

@@ -8,16 +8,32 @@
 namespace cg::sim {
 
 unsigned
+ParallelRunner::parseThreads(const char* text, unsigned hardware)
+{
+    CG_ASSERT(hardware >= 1, "hardware thread count must be positive");
+    if (!text)
+        return hardware;
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1) {
+        warn("ignoring invalid CG_THREADS='%s' (want 1..%u)", text,
+             hardware);
+        return hardware;
+    }
+    if (static_cast<unsigned long>(v) > hardware) {
+        warn("clamping CG_THREADS=%ld to %u hardware threads", v,
+             hardware);
+        return hardware;
+    }
+    return static_cast<unsigned>(v);
+}
+
+unsigned
 ParallelRunner::defaultThreads()
 {
-    if (const char* env = std::getenv("CG_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-        warn("ignoring invalid CG_THREADS='%s'", env);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 4;
+    const unsigned fallback = hw > 0 ? hw : 4;
+    return parseThreads(std::getenv("CG_THREADS"), fallback);
 }
 
 std::vector<std::uint64_t>

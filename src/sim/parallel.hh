@@ -62,6 +62,15 @@ class ParallelRunner
     static unsigned defaultThreads();
 
     /**
+     * Parse a CG_THREADS-style override. The accepted range is
+     * [1, hardware]: values above @p hardware are clamped to it (a
+     * sweep gains nothing from oversubscription), and anything else —
+     * null, empty, non-numeric, trailing garbage, zero, or negative —
+     * falls back to @p hardware with a warning. Never returns 0.
+     */
+    static unsigned parseThreads(const char* text, unsigned hardware);
+
+    /**
      * Derive @p n independent per-run seeds from @p root via a
      * splitmix64 stream. Deterministic in (root, n) and independent of
      * any thread scheduling; seed i is the i-th stream output.

@@ -14,6 +14,8 @@
 #include "sim/event_queue.hh"
 #include "sim/proc.hh"
 #include "sim/rng.hh"
+#include "sim/stat_registry.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace cg::sim {
@@ -31,6 +33,14 @@ class Simulation
     Tick now() const { return queue_.now(); }
     Rng& rng() { return rng_; }
     FreeDispatcher& freeDispatcher() { return freeDisp_; }
+
+    /** The run's statistics directory (see stat_registry.hh). */
+    StatRegistry& stats() { return stats_; }
+    const StatRegistry& stats() const { return stats_; }
+
+    /** The run's tracepoint ring (disabled by default; trace.hh). */
+    Tracer& tracer() { return tracer_; }
+    const Tracer& tracer() const { return tracer_; }
 
     /** Spawn a free-running process (hardware, firmware, fabric). */
     Process& spawn(std::string name, Proc<void> body);
@@ -60,6 +70,8 @@ class Simulation
     EventQueue queue_;
     Rng rng_;
     FreeDispatcher freeDisp_;
+    StatRegistry stats_;
+    Tracer tracer_{queue_};
     std::vector<std::unique_ptr<Process>> processes_;
 };
 

@@ -1,0 +1,359 @@
+#include "sim/stat_registry.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace cg::sim {
+
+// ------------------------------------------------------------ StatRegistry
+
+void
+StatRegistry::addEntry(const std::string& name, Kind kind, const void* p)
+{
+    CG_ASSERT(!name.empty(), "stat with empty name");
+    const auto [it, inserted] = entries_.emplace(name, Entry{kind, p});
+    (void)it;
+    CG_ASSERT(inserted, "duplicate stat name '%s'", name.c_str());
+}
+
+void
+StatRegistry::add(const std::string& name, const Counter& c)
+{
+    addEntry(name, Kind::Counter, &c);
+}
+
+void
+StatRegistry::add(const std::string& name, const Accumulator& a)
+{
+    addEntry(name, Kind::Accumulator, &a);
+}
+
+void
+StatRegistry::add(const std::string& name, const Distribution& d)
+{
+    addEntry(name, Kind::Distribution, &d);
+}
+
+void
+StatRegistry::add(const std::string& name, const LatencyStat& l)
+{
+    addEntry(name, Kind::Latency, &l);
+}
+
+void
+StatRegistry::addValue(const std::string& name, const std::uint64_t& v)
+{
+    addEntry(name, Kind::Value, &v);
+}
+
+void
+StatRegistry::remove(const std::string& name)
+{
+    entries_.erase(name);
+}
+
+void
+StatRegistry::removePrefix(const std::string& prefix)
+{
+    auto it = entries_.lower_bound(prefix);
+    while (it != entries_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = entries_.erase(it);
+    }
+}
+
+bool
+StatRegistry::has(const std::string& name) const
+{
+    return entries_.count(name) != 0;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+const Counter*
+StatRegistry::counter(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() && it->second.kind == Kind::Counter
+               ? static_cast<const Counter*>(it->second.ptr)
+               : nullptr;
+}
+
+const Accumulator*
+StatRegistry::accumulator(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() && it->second.kind == Kind::Accumulator
+               ? static_cast<const Accumulator*>(it->second.ptr)
+               : nullptr;
+}
+
+const Distribution*
+StatRegistry::distribution(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() && it->second.kind == Kind::Distribution
+               ? static_cast<const Distribution*>(it->second.ptr)
+               : nullptr;
+}
+
+const LatencyStat*
+StatRegistry::latency(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() && it->second.kind == Kind::Latency
+               ? static_cast<const LatencyStat*>(it->second.ptr)
+               : nullptr;
+}
+
+const std::uint64_t*
+StatRegistry::value(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() && it->second.kind == Kind::Value
+               ? static_cast<const std::uint64_t*>(it->second.ptr)
+               : nullptr;
+}
+
+std::string
+StatRegistry::dumpText() const
+{
+    std::string out;
+    for (const auto& [name, e] : entries_) {
+        switch (e.kind) {
+          case Kind::Counter:
+            out += strFormat(
+                "%-48s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(
+                    static_cast<const Counter*>(e.ptr)->value()));
+            break;
+          case Kind::Value:
+            out += strFormat(
+                "%-48s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(
+                    *static_cast<const std::uint64_t*>(e.ptr)));
+            break;
+          case Kind::Accumulator: {
+            const auto& a = *static_cast<const Accumulator*>(e.ptr);
+            out += strFormat(
+                "%-48s count %llu mean %.3f stddev %.3f min %.3f "
+                "max %.3f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(a.count()), a.mean(),
+                a.stddev(), a.min(), a.max());
+            break;
+          }
+          case Kind::Distribution: {
+            const auto& d = *static_cast<const Distribution*>(e.ptr);
+            out += strFormat(
+                "%-48s count %llu mean %.3f p50 %.3f p95 %.3f "
+                "p99 %.3f max %.3f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(d.count()), d.mean(),
+                d.percentile(50), d.percentile(95), d.percentile(99),
+                d.max());
+            break;
+          }
+          case Kind::Latency: {
+            const auto& l = *static_cast<const LatencyStat*>(e.ptr);
+            out += strFormat(
+                "%-48s count %llu meanUs %.3f p50Us %.3f p95Us %.3f "
+                "p99Us %.3f maxUs %.3f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(l.count()), l.meanUs(),
+                l.p50Us(), l.p95Us(), l.p99Us(), l.maxUs());
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+StatRegistry::dumpJson() const
+{
+    std::string out = "{\n";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += strFormat("  \"%s\": ", name.c_str());
+        switch (e.kind) {
+          case Kind::Counter:
+            out += strFormat(
+                "{\"kind\": \"counter\", \"value\": %llu}",
+                static_cast<unsigned long long>(
+                    static_cast<const Counter*>(e.ptr)->value()));
+            break;
+          case Kind::Value:
+            out += strFormat(
+                "{\"kind\": \"value\", \"value\": %llu}",
+                static_cast<unsigned long long>(
+                    *static_cast<const std::uint64_t*>(e.ptr)));
+            break;
+          case Kind::Accumulator: {
+            const auto& a = *static_cast<const Accumulator*>(e.ptr);
+            out += strFormat(
+                "{\"kind\": \"accumulator\", \"count\": %llu, "
+                "\"mean\": %.6g, \"stddev\": %.6g, \"min\": %.6g, "
+                "\"max\": %.6g}",
+                static_cast<unsigned long long>(a.count()), a.mean(),
+                a.stddev(), a.min(), a.max());
+            break;
+          }
+          case Kind::Distribution: {
+            const auto& d = *static_cast<const Distribution*>(e.ptr);
+            out += strFormat(
+                "{\"kind\": \"distribution\", \"count\": %llu, "
+                "\"mean\": %.6g, \"p50\": %.6g, \"p95\": %.6g, "
+                "\"p99\": %.6g, \"max\": %.6g}",
+                static_cast<unsigned long long>(d.count()), d.mean(),
+                d.percentile(50), d.percentile(95), d.percentile(99),
+                d.max());
+            break;
+          }
+          case Kind::Latency: {
+            const auto& l = *static_cast<const LatencyStat*>(e.ptr);
+            out += strFormat(
+                "{\"kind\": \"latency\", \"count\": %llu, "
+                "\"meanUs\": %.6g, \"p50Us\": %.6g, \"p95Us\": %.6g, "
+                "\"p99Us\": %.6g, \"maxUs\": %.6g}",
+                static_cast<unsigned long long>(l.count()), l.meanUs(),
+                l.p50Us(), l.p95Us(), l.p99Us(), l.maxUs());
+            break;
+          }
+        }
+    }
+    out += "\n}\n";
+    return out;
+}
+
+bool
+StatRegistry::writeFile(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write stats dump to '%s'", path.c_str());
+        return false;
+    }
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    const std::string body = json ? dumpJson() : dumpText();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+// --------------------------------------------------------------- StatGroup
+
+StatGroup::StatGroup(StatRegistry& r, std::string prefix)
+    : reg_(&r), prefix_(std::move(prefix))
+{}
+
+StatGroup::~StatGroup()
+{
+    clear();
+}
+
+StatGroup::StatGroup(StatGroup&& o) noexcept
+    : reg_(o.reg_), prefix_(std::move(o.prefix_)),
+      names_(std::move(o.names_))
+{
+    o.reg_ = nullptr;
+    o.names_.clear();
+}
+
+StatGroup&
+StatGroup::operator=(StatGroup&& o) noexcept
+{
+    if (this != &o) {
+        clear();
+        reg_ = o.reg_;
+        prefix_ = std::move(o.prefix_);
+        names_ = std::move(o.names_);
+        o.reg_ = nullptr;
+        o.names_.clear();
+    }
+    return *this;
+}
+
+void
+StatGroup::attach(StatRegistry& r, std::string prefix)
+{
+    clear();
+    reg_ = &r;
+    prefix_ = std::move(prefix);
+}
+
+std::string
+StatGroup::fullName(const std::string& leaf) const
+{
+    return prefix_.empty() ? leaf : prefix_ + "." + leaf;
+}
+
+void
+StatGroup::add(const std::string& leaf, const Counter& c)
+{
+    if (!reg_)
+        return;
+    names_.push_back(fullName(leaf));
+    reg_->add(names_.back(), c);
+}
+
+void
+StatGroup::add(const std::string& leaf, const Accumulator& a)
+{
+    if (!reg_)
+        return;
+    names_.push_back(fullName(leaf));
+    reg_->add(names_.back(), a);
+}
+
+void
+StatGroup::add(const std::string& leaf, const Distribution& d)
+{
+    if (!reg_)
+        return;
+    names_.push_back(fullName(leaf));
+    reg_->add(names_.back(), d);
+}
+
+void
+StatGroup::add(const std::string& leaf, const LatencyStat& l)
+{
+    if (!reg_)
+        return;
+    names_.push_back(fullName(leaf));
+    reg_->add(names_.back(), l);
+}
+
+void
+StatGroup::addValue(const std::string& leaf, const std::uint64_t& v)
+{
+    if (!reg_)
+        return;
+    names_.push_back(fullName(leaf));
+    reg_->addValue(names_.back(), v);
+}
+
+void
+StatGroup::clear()
+{
+    if (reg_) {
+        for (const std::string& n : names_)
+            reg_->remove(n);
+    }
+    names_.clear();
+}
+
+} // namespace cg::sim

@@ -47,14 +47,15 @@ void
 Distribution::sample(double x)
 {
     samples_.push_back(x);
-    sorted_ = false;
+    sortedValid_ = false;
 }
 
 void
 Distribution::reset()
 {
     samples_.clear();
-    sorted_ = true;
+    sorted_.clear();
+    sortedValid_ = true;
 }
 
 double
@@ -68,13 +69,15 @@ Distribution::mean() const
     return s / static_cast<double>(samples_.size());
 }
 
-void
+const std::vector<double>&
 Distribution::ensureSorted() const
 {
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
+    if (!sortedValid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
     }
+    return sorted_;
 }
 
 double
@@ -82,8 +85,7 @@ Distribution::min() const
 {
     if (samples_.empty())
         return 0.0;
-    ensureSorted();
-    return samples_.front();
+    return ensureSorted().front();
 }
 
 double
@@ -91,8 +93,7 @@ Distribution::max() const
 {
     if (samples_.empty())
         return 0.0;
-    ensureSorted();
-    return samples_.back();
+    return ensureSorted().back();
 }
 
 double
@@ -101,15 +102,14 @@ Distribution::percentile(double p) const
     CG_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: %f", p);
     if (samples_.empty())
         return 0.0;
-    ensureSorted();
-    if (samples_.size() == 1)
-        return samples_[0];
-    const double rank =
-        (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const std::vector<double>& s = ensureSorted();
+    if (s.size() == 1)
+        return s[0];
+    const double rank = (p / 100.0) * static_cast<double>(s.size() - 1);
     const auto lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const size_t hi = std::min(lo + 1, s.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
 }
 
 void

@@ -58,7 +58,9 @@ class Accumulator
  * Sample-retaining distribution for percentile queries.
  *
  * Keeps every sample (simulations here produce at most a few million);
- * percentile() sorts lazily on first query after new samples.
+ * percentile() sorts lazily into a separate cache on the first query
+ * after new samples, so samples() always returns the stable
+ * insertion-order view no matter which queries ran in between.
  */
 class Distribution
 {
@@ -75,13 +77,15 @@ class Distribution
     double percentile(double p) const;
     double median() const { return percentile(50.0); }
 
+    /** The samples in insertion order (never reordered by queries). */
     const std::vector<double>& samples() const { return samples_; }
 
   private:
-    mutable std::vector<double> samples_;
-    mutable bool sorted_ = true;
+    std::vector<double> samples_; ///< insertion order, query-immutable
+    mutable std::vector<double> sorted_; ///< lazily rebuilt order stats
+    mutable bool sortedValid_ = true;
 
-    void ensureSorted() const;
+    const std::vector<double>& ensureSorted() const;
 };
 
 /** Convenience: record Tick latencies, report in ns/us. */

@@ -30,6 +30,19 @@ KvmVm::~KvmVm()
 }
 
 void
+KvmVm::registerStats(sim::StatRegistry& reg)
+{
+    statGroup_.attach(reg, "kvm." + vm_.name());
+    statGroup_.add("exits", stats_.exits);
+    statGroup_.add("irqRelatedExits", stats_.irqRelatedExits);
+    statGroup_.add("mmioExits", stats_.mmioExits);
+    statGroup_.add("wfiExits", stats_.wfiExits);
+    statGroup_.add("pageFaultExits", stats_.pageFaultExits);
+    statGroup_.add("injections", stats_.injections);
+    statGroup_.add("runToRun", stats_.runToRun);
+}
+
+void
 KvmVm::stop()
 {
     for (host::Thread* t : threads_) {

@@ -28,6 +28,7 @@
 #include "guest/vm.hh"
 #include "host/kernel.hh"
 #include "rmm/rmm.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
 #include "vmm/kick.hh"
@@ -123,6 +124,9 @@ class KvmVm
     const KvmConfig& config() const { return cfg_; }
     KvmStats& stats() { return stats_; }
 
+    /** Register this VM's counters under "kvm.<vm name>." in @p reg. */
+    void registerStats(sim::StatRegistry& reg);
+
     /**
      * Bind this VM to a realm (required for SharedCoreCvm). Use
      * createRealmFor() to build the realm through the RMI first.
@@ -210,6 +214,7 @@ class KvmVm
     int aliveVcpus_ = 0;
     std::uint64_t nextGranule_;
     KvmStats stats_;
+    sim::StatGroup statGroup_;
 };
 
 /**

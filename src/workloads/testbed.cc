@@ -44,10 +44,32 @@ Testbed::Testbed(Config cfg) : cfg_(cfg)
     doorbell_ = std::make_unique<cg::core::ExitDoorbell>(*kernel_);
     fabric_ = std::make_unique<vmm::NetworkFabric>(*sim_, cfg_.fabric);
     disk_ = std::make_unique<vmm::Disk>(*sim_, cfg_.disk);
+
+    kernel_->registerStats(sim_->stats());
+    rmm_->registerStats(sim_->stats());
+    machine_->gic().registerStats(sim_->stats());
+    doorbell_->registerStats(sim_->stats());
+
+    // --stats/--trace from the bench harness: exactly one Testbed per
+    // process claims the request (sweeps build many testbeds in
+    // parallel; the first one constructed is the one observed).
+    observed_ = sim::ObservabilityRequest::claim();
+    if (observed_ && !sim::ObservabilityRequest::tracePath().empty())
+        sim_->tracer().enable();
 }
 
 Testbed::~Testbed()
 {
+    // Write observability outputs first, while every component (and
+    // thus every registered stat) is still alive.
+    if (observed_) {
+        const std::string& sp = sim::ObservabilityRequest::statsPath();
+        const std::string& tp = sim::ObservabilityRequest::tracePath();
+        if (!sp.empty())
+            sim_->stats().writeFile(sp);
+        if (!tp.empty())
+            sim_->tracer().writeFile(tp);
+    }
     // VMs reference the kernel/RMM: drop them first, in reverse order.
     while (!vms_.empty())
         vms_.pop_back();
@@ -159,6 +181,10 @@ Testbed::createVmOn(const std::string& name,
         inst->gapped = std::make_unique<cg::core::GappedVm>(
             *inst->kvm, *doorbell_, gcfg);
     }
+    inst->vm->registerStats(sim_->stats());
+    inst->kvm->registerStats(sim_->stats());
+    if (inst->gapped)
+        inst->gapped->registerStats(sim_->stats());
     vms_.push_back(std::move(inst));
     return *vms_.back();
 }

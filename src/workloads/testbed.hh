@@ -151,6 +151,7 @@ class Testbed
     std::vector<std::unique_ptr<VmInstance>> vms_;
     sim::Gate started_;
     int nextCore_ = 0;
+    bool observed_ = false; ///< this testbed owns --stats/--trace output
     int nextDomain_ = sim::firstVmDomain;
     std::uint64_t nextMmioBase_ = 0x0a000000;
     hw::IntId nextIrq_ = 40;

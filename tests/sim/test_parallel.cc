@@ -118,3 +118,33 @@ TEST(ParallelRunner, DefaultThreadsIsPositive)
     ParallelRunner pool; // default-sized pool constructs and joins
     EXPECT_GE(pool.threads(), 1u);
 }
+
+TEST(ParallelRunner, ParseThreadsAcceptsOneToHardware)
+{
+    EXPECT_EQ(ParallelRunner::parseThreads("1", 16), 1u);
+    EXPECT_EQ(ParallelRunner::parseThreads("8", 16), 8u);
+    EXPECT_EQ(ParallelRunner::parseThreads("16", 16), 16u);
+}
+
+TEST(ParallelRunner, ParseThreadsClampsOversubscription)
+{
+    EXPECT_EQ(ParallelRunner::parseThreads("64", 8), 8u);
+    EXPECT_EQ(ParallelRunner::parseThreads("9", 8), 8u);
+}
+
+TEST(ParallelRunner, ParseThreadsRejectsZeroAndNegative)
+{
+    // CG_THREADS=0 / negative must not build a zero-thread pool (every
+    // submit would then deadlock in wait()).
+    EXPECT_EQ(ParallelRunner::parseThreads("0", 16), 16u);
+    EXPECT_EQ(ParallelRunner::parseThreads("-3", 16), 16u);
+    EXPECT_EQ(ParallelRunner::parseThreads("-9999999999999", 16), 16u);
+}
+
+TEST(ParallelRunner, ParseThreadsRejectsGarbage)
+{
+    EXPECT_EQ(ParallelRunner::parseThreads(nullptr, 16), 16u);
+    EXPECT_EQ(ParallelRunner::parseThreads("", 16), 16u);
+    EXPECT_EQ(ParallelRunner::parseThreads("abc", 16), 16u);
+    EXPECT_EQ(ParallelRunner::parseThreads("8x", 16), 16u);
+}

@@ -1,0 +1,177 @@
+/** @file Unit tests for the StatRegistry / StatGroup directory. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/stat_registry.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace cg::sim;
+
+TEST(StatRegistry, RegisterLookupAndRemove)
+{
+    StatRegistry reg;
+    Counter c;
+    Accumulator a;
+    Distribution d;
+    LatencyStat l;
+    std::uint64_t raw = 42;
+
+    reg.add("rmm.exitsToHost", c);
+    reg.add("host.latencyJitter", a);
+    reg.add("net.rtt", d);
+    reg.add("gapped.vm0.runToRun", l);
+    reg.addValue("guest.vm0.vcpu0.guestCpuTime", raw);
+    EXPECT_EQ(reg.size(), 5u);
+    EXPECT_TRUE(reg.has("rmm.exitsToHost"));
+    EXPECT_FALSE(reg.has("rmm.nope"));
+
+    c.inc(7);
+    ASSERT_NE(reg.counter("rmm.exitsToHost"), nullptr);
+    EXPECT_EQ(reg.counter("rmm.exitsToHost")->value(), 7u);
+    ASSERT_NE(reg.value("guest.vm0.vcpu0.guestCpuTime"), nullptr);
+    EXPECT_EQ(*reg.value("guest.vm0.vcpu0.guestCpuTime"), 42u);
+
+    // Typed lookup rejects kind mismatches.
+    EXPECT_EQ(reg.accumulator("rmm.exitsToHost"), nullptr);
+    EXPECT_EQ(reg.counter("net.rtt"), nullptr);
+    EXPECT_NE(reg.distribution("net.rtt"), nullptr);
+    EXPECT_NE(reg.latency("gapped.vm0.runToRun"), nullptr);
+    EXPECT_NE(reg.accumulator("host.latencyJitter"), nullptr);
+
+    reg.remove("net.rtt");
+    EXPECT_FALSE(reg.has("net.rtt"));
+    reg.remove("net.rtt"); // unknown name: ignored
+    EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(StatRegistry, NamesAreSorted)
+{
+    StatRegistry reg;
+    Counter c1, c2, c3;
+    reg.add("zeta", c1);
+    reg.add("alpha", c2);
+    reg.add("mid.leaf", c3);
+    const std::vector<std::string> expect{"alpha", "mid.leaf", "zeta"};
+    EXPECT_EQ(reg.names(), expect);
+}
+
+TEST(StatRegistry, RemovePrefix)
+{
+    StatRegistry reg;
+    Counter a, b, c;
+    reg.add("kvm.vm0.exits", a);
+    reg.add("kvm.vm0.injections", b);
+    reg.add("kvm.vm1.exits", c);
+    reg.removePrefix("kvm.vm0.");
+    EXPECT_FALSE(reg.has("kvm.vm0.exits"));
+    EXPECT_FALSE(reg.has("kvm.vm0.injections"));
+    EXPECT_TRUE(reg.has("kvm.vm1.exits"));
+}
+
+TEST(StatRegistry, DumpTextGolden)
+{
+    StatRegistry reg;
+    Counter c;
+    c.inc(12);
+    Distribution d;
+    d.sample(1.0);
+    d.sample(2.0);
+    d.sample(3.0);
+    reg.add("rmm.rmiCalls", c);
+    reg.add("io.latency", d);
+    const std::string expect =
+        "io.latency                                       "
+        "count 3 mean 2.000 p50 2.000 p95 2.900 p99 2.980 max 3.000\n"
+        "rmm.rmiCalls                                     12\n";
+    EXPECT_EQ(reg.dumpText(), expect);
+}
+
+TEST(StatRegistry, DumpJsonIsWellFormedAndTyped)
+{
+    StatRegistry reg;
+    Counter c;
+    c.inc(3);
+    Accumulator a;
+    a.sample(1.5);
+    a.sample(2.5);
+    LatencyStat l;
+    l.sample(2 * usec);
+    std::uint64_t raw = 9;
+    reg.add("x.counter", c);
+    reg.add("x.accum", a);
+    reg.add("x.lat", l);
+    reg.addValue("x.raw", raw);
+    const std::string j = reg.dumpJson();
+    EXPECT_NE(j.find("\"x.counter\": {\"kind\": \"counter\", "
+                     "\"value\": 3}"),
+              std::string::npos)
+        << j;
+    EXPECT_NE(j.find("\"x.accum\": {\"kind\": \"accumulator\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"x.lat\": {\"kind\": \"latency\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"x.raw\": {\"kind\": \"value\", \"value\": 9}"),
+              std::string::npos);
+    // Balanced braces, terminated by a newline.
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j[j.size() - 2], '}');
+}
+
+TEST(StatGroup, RegistersUnderPrefixAndUnregistersOnDestruction)
+{
+    StatRegistry reg;
+    Counter keep;
+    reg.add("keep.me", keep);
+    {
+        Counter c;
+        LatencyStat l;
+        StatGroup g(reg, "rmm");
+        g.add("exitsToHost", c);
+        g.add("runToRun", l);
+        EXPECT_TRUE(reg.has("rmm.exitsToHost"));
+        EXPECT_TRUE(reg.has("rmm.runToRun"));
+        EXPECT_EQ(reg.size(), 3u);
+    }
+    // The group's entries are gone; unrelated entries survive.
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_TRUE(reg.has("keep.me"));
+}
+
+TEST(StatGroup, UnattachedGroupIsANoOp)
+{
+    StatGroup g;
+    Counter c;
+    g.add("anything", c); // must not crash or register anywhere
+    EXPECT_FALSE(g.attached());
+}
+
+TEST(StatGroup, ReattachDropsPreviousEntries)
+{
+    StatRegistry reg;
+    Counter c;
+    StatGroup g(reg, "old");
+    g.add("stat", c);
+    EXPECT_TRUE(reg.has("old.stat"));
+    g.attach(reg, "new");
+    EXPECT_FALSE(reg.has("old.stat"));
+    g.add("stat", c);
+    EXPECT_TRUE(reg.has("new.stat"));
+}
+
+TEST(StatGroup, MoveTransfersOwnership)
+{
+    StatRegistry reg;
+    Counter c;
+    StatGroup a(reg, "grp");
+    a.add("stat", c);
+    StatGroup b(std::move(a));
+    EXPECT_TRUE(reg.has("grp.stat"));
+    a.clear(); // moved-from group owns nothing
+    EXPECT_TRUE(reg.has("grp.stat"));
+    b.clear();
+    EXPECT_FALSE(reg.has("grp.stat"));
+}

@@ -75,6 +75,29 @@ TEST(Distribution, MeanUnsortedThenSorted)
     EXPECT_DOUBLE_EQ(d.max(), 10.0);
 }
 
+TEST(Distribution, SamplesKeepInsertionOrderAcrossQueries)
+{
+    // Regression: percentile() used to sort samples_ in place, so the
+    // first percentile query flipped samples() from insertion order to
+    // sorted order.
+    Distribution d;
+    d.sample(3.0);
+    d.sample(1.0);
+    d.sample(2.0);
+    const std::vector<double> inserted{3.0, 1.0, 2.0};
+    EXPECT_EQ(d.samples(), inserted);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_EQ(d.samples(), inserted) << "query reordered samples()";
+    d.sample(0.5); // re-dirty, query again, still insertion order
+    EXPECT_DOUBLE_EQ(d.min(), 0.5);
+    const std::vector<double> grown{3.0, 1.0, 2.0, 0.5};
+    EXPECT_EQ(d.samples(), grown);
+    d.reset();
+    EXPECT_TRUE(d.samples().empty());
+}
+
 TEST(Distribution, EmptyAndSingle)
 {
     Distribution d;
