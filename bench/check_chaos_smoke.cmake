@@ -1,0 +1,22 @@
+# Validates the bench_chaos_smoke output: the observed testbed must
+# have armed the fault plan (fault stats registered in the dump) and
+# produced all three stat families.
+# Run as: cmake -DSTATS=<path> -P check_chaos_smoke.cmake
+
+if(NOT DEFINED STATS)
+    message(FATAL_ERROR "pass -DSTATS=<path>")
+endif()
+if(NOT EXISTS "${STATS}")
+    message(FATAL_ERROR "missing output file: ${STATS}")
+endif()
+
+file(READ "${STATS}" stats_body)
+foreach(family "faults.injected." "faults.detected." "faults.recovered.")
+    if(NOT stats_body MATCHES "${family}")
+        message(FATAL_ERROR
+            "stats dump has no ${family}* rows: the fault plan was "
+            "not armed in the observed testbed")
+    endif()
+endforeach()
+
+message(STATUS "chaos smoke stats look good")

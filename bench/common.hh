@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hh"
 #include "sim/trace.hh"
 
 namespace cg::bench {
@@ -93,6 +94,10 @@ writeJsonReport()
  *                    run constructs (".json" suffix selects JSON)
  *   --trace <path>   record that Testbed's tracepoints and write them
  *                    as Chrome trace_event JSON (chrome://tracing)
+ *   --faults <plan>  arm the fault plan (FaultPlan::parse grammar) in
+ *                    every Testbed the run constructs
+ *   --fault-seed <n> seed for the plan's probabilistic triggers
+ *                    (default 1; mixed with each Testbed's sim seed)
  */
 inline void
 initHarness(int argc, char** argv)
@@ -101,6 +106,8 @@ initHarness(int argc, char** argv)
     detail::bench_name = slash ? slash + 1 : argv[0];
     std::string stats_path;
     std::string trace_path;
+    std::string fault_plan;
+    std::uint64_t fault_seed = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             detail::json_path = argv[++i];
@@ -110,15 +117,24 @@ initHarness(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--faults") == 0 &&
+                   i + 1 < argc) {
+            fault_plan = argv[++i];
+        } else if (std::strcmp(argv[i], "--fault-seed") == 0 &&
+                   i + 1 < argc) {
+            fault_seed = std::strtoull(argv[++i], nullptr, 0);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json <path>] [--stats <path>] "
-                         "[--trace <path>]\n",
+                         "[--trace <path>] [--faults <plan>] "
+                         "[--fault-seed <n>]\n",
                          argv[0]);
             std::exit(2);
         }
     }
     cg::sim::ObservabilityRequest::configure(stats_path, trace_path);
+    if (!fault_plan.empty())
+        cg::sim::FaultPlanRequest::configure(fault_plan, fault_seed);
     std::atexit(detail::writeJsonReport);
 }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The full CI gate, as run before merging a PR:
+#
+#   1. tier-1: configure + build the primary tree and run every test
+#   2. chaos:  re-run the fault-injection suites by name (unit fault
+#              plans, full-testbed chaos runs, and the bench smokes
+#              that drive fig7 / ext_fault_recovery under a plan) —
+#              redundant with step 1 but kept as a separate, fast gate
+#              so fault-injection regressions are named in CI output
+#   3. sanitize: rebuild under ASan+UBSan and run the whole suite
+#
+# Usage: scripts/ci.sh [--skip-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZE=0
+for arg in "$@"; do
+    case "$arg" in
+      --skip-sanitize) SKIP_SANITIZE=1 ;;
+      *) echo "usage: scripts/ci.sh [--skip-sanitize]" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> [1/3] tier-1 build + test"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==> [2/3] chaos gate (fault injection + recovery)"
+ctest --test-dir build --output-on-failure -R '[Cc]haos|FaultPlan'
+
+if [ "$SKIP_SANITIZE" = 1 ]; then
+    echo "==> [3/3] sanitize: skipped (--skip-sanitize)"
+else
+    echo "==> [3/3] sanitize build + test"
+    scripts/sanitize.sh
+fi
+
+echo "==> CI green"

@@ -25,6 +25,8 @@ ExitDoorbell::registerStats(sim::StatRegistry& reg)
 {
     statGroup_.attach(reg, "doorbell");
     statGroup_.add("rings", rings_);
+    statGroup_.add("lostRings", lostRings_);
+    statGroup_.add("rerings", rerings_);
 }
 
 std::uint64_t
@@ -53,7 +55,24 @@ ExitDoorbell::ring(sim::CoreId core)
     rings_.inc();
     kernel_.sim().tracer().instant("doorbell-ring",
                                    sim::Tracer::coresPid, core);
+    sim::FaultPlan& faults = kernel_.sim().faults();
+    if (faults.armed() &&
+        faults.query(sim::FaultSite::DoorbellLost)) {
+        // The exit record is in shared memory but the IPI never went
+        // out: exactly the hazard the wake-up watchdog re-rings for.
+        lostRings_.inc();
+        return;
+    }
     kernel_.sendIpi(core, ipi_);
+}
+
+void
+ExitDoorbell::rering(sim::CoreId core)
+{
+    rerings_.inc();
+    kernel_.sim().tracer().instant("doorbell-rering",
+                                   sim::Tracer::coresPid, core);
+    ring(core);
 }
 
 void

@@ -44,8 +44,17 @@ class ExitDoorbell
     /** Ring the doorbell at @p core (called by the monitor side). */
     void ring(sim::CoreId core);
 
+    /**
+     * Ring again for a delivery the wake-up watchdog found missing
+     * (at-least-once delivery; duplicates coalesce in the subscribers'
+     * level-triggered flags and in RunSlot's delivered_ dedup).
+     */
+    void rering(sim::CoreId core);
+
     int ipiNumber() const { return ipi_; }
     std::uint64_t rings() const { return rings_.value(); }
+    std::uint64_t lostRings() const { return lostRings_.value(); }
+    std::uint64_t rerings() const { return rerings_.value(); }
 
     /** Register the doorbell's counters under "doorbell." in @p reg. */
     void registerStats(sim::StatRegistry& reg);
@@ -59,6 +68,8 @@ class ExitDoorbell
              std::vector<std::pair<std::uint64_t, Handler>>> subs_;
     std::uint64_t nextSubId_ = 1;
     sim::Counter rings_;
+    sim::Counter lostRings_;
+    sim::Counter rerings_;
     sim::StatGroup statGroup_;
 };
 

@@ -1,5 +1,8 @@
 #include "core/gapped_vm.hh"
 
+#include <algorithm>
+
+#include "core/planner.hh"
 #include "sim/simulation.hh"
 
 namespace cg::core {
@@ -60,6 +63,7 @@ GappedVm::GappedVm(vmm::KvmVm& kvm, ExitDoorbell& doorbell,
 
 GappedVm::~GappedVm()
 {
+    kvm_.kernel().machine().sim().queue().cancel(watchdogEvent_);
     stopMonitors_ = true;
     monitorWork_.notifyAll();
     if (doorbellSub_ != 0)
@@ -84,9 +88,58 @@ GappedVm::registerStats(sim::StatRegistry& reg)
     statGroup_.add("runCallRtt", runCallRtt_);
     statGroup_.add("directInjections", directInjections_);
     statGroup_.add("syncRpcServed", syncRpc_.servedStat());
+    statGroup_.add("rpcTimeouts", syncRpc_.timeoutStat());
+    statGroup_.add("rpcRepokes", syncRpc_.repokeStat());
+    statGroup_.add("hangReclaims", hangReclaims_);
+    statGroup_.add("coresLost", coresLost_);
+    statGroup_.add("hotplugRetries", hotplugRetries_);
 }
 
-sim::Proc<void>
+bool
+GappedVm::isLostCore(sim::CoreId c) const
+{
+    return std::find(lostCores_.begin(), lostCores_.end(), c) !=
+           lostCores_.end();
+}
+
+void
+GappedVm::releasePlannerReservations()
+{
+    if (!cfg_.planner || plannerReleased_)
+        return;
+    plannerReleased_ = true;
+    // A quarantined core stays reserved forever: releasing it would
+    // let the planner hand an offline core to the next VM (I7).
+    std::vector<sim::CoreId> back;
+    for (sim::CoreId c : cfg_.guestCores) {
+        if (!isLostCore(c))
+            back.push_back(c);
+    }
+    if (!back.empty())
+        cfg_.planner->release(back);
+}
+
+sim::Proc<bool>
+GappedVm::onlineWithRetry(sim::CoreId core)
+{
+    host::Kernel& kernel = kvm_.kernel();
+    if (co_await kernel.onlineCore(core))
+        co_return true;
+    hotplugRetries_.inc();
+    if (co_await kernel.onlineCore(core)) {
+        kernel.sim().faults().noteRecovered(
+            sim::FaultSite::HotplugOnlineFail);
+        co_return true;
+    }
+    coresLost_.inc();
+    lostCores_.push_back(core);
+    sim::warn("%s: core %d failed to come back online twice; "
+              "quarantining it (stays reserved, never reused)",
+              kvm_.guestVm().name().c_str(), core);
+    co_return false;
+}
+
+sim::Proc<bool>
 GappedVm::start()
 {
     CG_ASSERT(!started_, "GappedVm started twice");
@@ -96,12 +149,46 @@ GappedVm::start()
     const int n = kvm_.guestVm().numVcpus();
 
     // Dedicate the guest cores: hotplug them out of the host and hand
-    // them to the monitor in realm world (section 4.2).
+    // them to the monitor in realm world (section 4.2). A core that
+    // refuses to offline gets one retry; if it still refuses, the
+    // whole bring-up rolls back — no half-dedicated VM, and a failed
+    // start leaks no planner reservation (I7).
+    std::vector<sim::CoreId> dedicated;
     for (sim::CoreId core : cfg_.guestCores) {
-        co_await kernel.offlineCore(core);
+        bool ok = co_await kernel.offlineCore(core);
+        if (!ok) {
+            hotplugRetries_.inc();
+            ok = co_await kernel.offlineCore(core);
+            if (ok) {
+                machine.sim().faults().noteRecovered(
+                    sim::FaultSite::HotplugOfflineFail);
+            }
+        }
+        if (!ok) {
+            sim::warn("%s: could not dedicate core %d; rolling back",
+                      kvm_.guestVm().name().c_str(), core);
+            break;
+        }
         const Tick t = machine.switchWorld(core, hw::World::Realm);
         co_await sim::Delay{t};
         machine.core(core).setOccupant(sim::monitorDomain);
+        dedicated.push_back(core);
+    }
+    if (dedicated.size() != cfg_.guestCores.size()) {
+        // Hand back everything taken so far. The monitor never ran a
+        // guest here, but it did own the cores: scrub its residue
+        // before normal world returns (I10).
+        for (sim::CoreId core : dedicated) {
+            hw::CoreUarch& u = machine.core(core).uarch();
+            for (hw::TaggedStructure* st : u.all())
+                st->flushDomain(sim::monitorDomain);
+            co_await sim::Delay{machine.switchWorld(
+                core, hw::World::Normal)};
+            co_await onlineWithRetry(core);
+        }
+        releasePlannerReservations();
+        started_ = false;
+        co_return false;
     }
     for (int i = 0; i < n; ++i) {
         monitorProcs_[static_cast<size_t>(i)] = &machine.sim().spawn(
@@ -145,6 +232,7 @@ GappedVm::start()
         t.footprint = kvm_.config().vcpuThreadFootprint;
         vcpuThreads_.push_back(&t);
     }
+    co_return true;
 }
 
 sim::Proc<void>
@@ -170,9 +258,10 @@ GappedVm::teardown()
         }
         const Tick t = machine.switchWorld(core, hw::World::Normal);
         co_await sim::Delay{t};
-        co_await kernel.onlineCore(core);
+        co_await onlineWithRetry(core);
     }
     rmm_.realmDestroy(realm_);
+    releasePlannerReservations();
 }
 
 sim::Proc<void>
@@ -195,12 +284,56 @@ GappedVm::terminate()
                 cfg_.guestCores[static_cast<size_t>(i)], kickSgi);
         }
     }
+    // Wait for each run loop to reach the park gate. With faults
+    // armed the wait is bounded: a hung monitor never publishes the
+    // exit, so its vCPU thread never parks — after parkDeadline the
+    // host stops cooperating and reclaims the core by force.
+    const bool bounded = machine.sim().faults().armed();
     for (int i = 0; i < n; ++i) {
         if (vcpuThreads_[static_cast<size_t>(i)]->done())
             continue;
         Park& park = *parks_[static_cast<size_t>(i)];
-        while (!park.parked)
+        if (!bounded) {
+            while (!park.parked)
+                co_await park.parkedNotify.wait();
+            continue;
+        }
+        bool hung = false;
+        while (!park.parked) {
+            const Tick deadline = machine.sim().now() + parkDeadline;
+            const sim::EventId timer = machine.sim().queue().scheduleIn(
+                parkDeadline,
+                [&park] { park.parkedNotify.notifyAll(); });
             co_await park.parkedNotify.wait();
+            machine.sim().queue().cancel(timer);
+            if (!park.parked && machine.sim().now() >= deadline) {
+                hung = true;
+                break;
+            }
+        }
+        if (!hung)
+            continue;
+        machine.sim().faults().noteDetected(
+            sim::FaultSite::MonitorHang);
+        sim::warn("%s/vcpu%d: monitor on core %d unresponsive; "
+                  "force-stopping its REC and reclaiming the core",
+                  kvm_.guestVm().name().c_str(), i,
+                  cfg_.guestCores[static_cast<size_t>(i)]);
+        // Kill the wedged monitor loop, force the REC out of Running
+        // so teardown()'s recDestroy succeeds, and drop the vCPU
+        // thread (its run call can never complete). teardown() then
+        // scrubs the core like any other before the host gets it
+        // back (I10).
+        if (monitorProcs_[static_cast<size_t>(i)]) {
+            monitorProcs_[static_cast<size_t>(i)]->kill();
+            monitorProcs_[static_cast<size_t>(i)] = nullptr;
+        }
+        rmm_.recForceStop(realm_, i);
+        if (!vcpuThreads_[static_cast<size_t>(i)]->done())
+            vcpuThreads_[static_cast<size_t>(i)]->process().kill();
+        hangReclaims_.inc();
+        machine.sim().faults().noteRecovered(
+            sim::FaultSite::MonitorHang);
     }
     // The host kills the VMM's threads outright.
     for (host::Thread* t : vcpuThreads_) {
@@ -250,6 +383,16 @@ GappedVm::monitorCoreLoop(int idx, sim::CoreId core, std::uint64_t gen)
         }
         if (retired())
             co_return;
+        if (machine.sim().faults().armed() &&
+            machine.sim().faults().query(
+                sim::FaultSite::MonitorHang)) {
+            // The monitor wedges (modelling a monitor bug): it keeps
+            // the core but never services work again. Nothing on the
+            // cooperative path can wake it; only terminate()'s
+            // escalation reclaims the core.
+            co_await hangNotify_.wait();
+            co_return;
+        }
         if (syncRpc_.pending()) {
             co_await syncRpc_.serviceOne();
             continue;
@@ -272,9 +415,38 @@ GappedVm::wakeupThreadBody()
 {
     const hw::Costs& costs = kvm_.kernel().machine().costs();
     hw::Machine& machine = kvm_.kernel().machine();
+    sim::Simulation& sim = machine.sim();
+    // With faults armed the doorbell wait is bounded by a watchdog: a
+    // sweep finding an undelivered response without a pending doorbell
+    // means the ring was lost in flight — re-ring it. Delivery is
+    // at-least-once; the per-slot delivered_ flag dedups extra rings.
+    const bool watchdog = sim.faults().armed();
     for (;;) {
-        while (!doorbellPending_)
+        while (!doorbellPending_) {
+            if (!watchdog) {
+                co_await wakeupNotify_.wait();
+                continue;
+            }
+            watchdogEvent_ = sim.queue().scheduleIn(
+                watchdogPeriod, [this] { wakeupNotify_.notifyAll(); });
             co_await wakeupNotify_.wait();
+            sim.queue().cancel(watchdogEvent_);
+            watchdogEvent_ = sim::invalidEventId;
+            if (doorbellPending_)
+                break;
+            bool missed = false;
+            for (auto& slot : slots_) {
+                if (slot->needsDelivery()) {
+                    missed = true;
+                    break;
+                }
+            }
+            if (missed) {
+                sim.faults().noteDetected(sim::FaultSite::DoorbellLost);
+                reringOutstanding_ = true;
+                doorbell_.rering(doorbellTarget_);
+            }
+        }
         doorbellPending_ = false;
         // Sweep the channels until a pass finds nothing, then suspend
         // until the next doorbell (fig. 4, steps 3-6).
@@ -287,6 +459,11 @@ GappedVm::wakeupThreadBody()
                     slot->markDelivered();
                     slot->hostNotify().notifyAll();
                     found = true;
+                    if (reringOutstanding_) {
+                        reringOutstanding_ = false;
+                        sim.faults().noteRecovered(
+                            sim::FaultSite::DoorbellLost);
+                    }
                 }
             }
         }
@@ -428,8 +605,30 @@ GappedVm::rebindVcpu(int idx, sim::CoreId new_core)
     co_await sim::join(*monitorProcs_[static_cast<size_t>(idx)]);
 
     // 3. Dedicate the new core: hotplug it away from the host and
-    //    switch it into realm world.
-    co_await kernel.offlineCore(new_core);
+    //    switch it into realm world. On failure (after one retry)
+    //    restart the old monitor loop and report the rebind refused.
+    bool took = co_await kernel.offlineCore(new_core);
+    if (!took) {
+        hotplugRetries_.inc();
+        took = co_await kernel.offlineCore(new_core);
+        if (took) {
+            machine.sim().faults().noteRecovered(
+                sim::FaultSite::HotplugOfflineFail);
+        }
+    }
+    if (!took) {
+        sim::warn("%s/vcpu%d: rebind: could not dedicate core %d",
+                  kvm_.guestVm().name().c_str(), idx, new_core);
+        monitorProcs_[static_cast<size_t>(idx)] =
+            &machine.sim().spawn(
+                sim::strFormat("%s/rmm-core%d",
+                               kvm_.guestVm().name().c_str(), old_core),
+                monitorCoreLoop(idx, old_core,
+                                monGen_[static_cast<size_t>(idx)]));
+        park.requested = false;
+        park.resume.open();
+        co_return false;
+    }
     co_await sim::Delay{machine.switchWorld(new_core,
                                             hw::World::Realm)};
     machine.core(new_core).setOccupant(sim::monitorDomain);
@@ -445,7 +644,7 @@ GappedVm::rebindVcpu(int idx, sim::CoreId new_core)
                   rmm::rmiStatusName(s));
         co_await sim::Delay{machine.switchWorld(new_core,
                                                 hw::World::Normal)};
-        co_await kernel.onlineCore(new_core);
+        co_await onlineWithRetry(new_core);
         monitorProcs_[static_cast<size_t>(idx)] =
             &machine.sim().spawn(
                 sim::strFormat("%s/rmm-core%d",
@@ -475,7 +674,7 @@ GappedVm::rebindVcpu(int idx, sim::CoreId new_core)
     // 6. Hand the old core back to the host.
     co_await sim::Delay{machine.switchWorld(old_core,
                                             hw::World::Normal)};
-    co_await kernel.onlineCore(old_core);
+    co_await onlineWithRetry(old_core);
     co_return true;
 }
 

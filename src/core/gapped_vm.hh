@@ -25,6 +25,8 @@
 
 namespace cg::core {
 
+class CorePlanner;
+
 struct GappedVmConfig {
     /** Dedicated guest cores, one per vCPU (from the CorePlanner). */
     std::vector<sim::CoreId> guestCores;
@@ -32,6 +34,13 @@ struct GappedVmConfig {
     host::CpuMask hostCores = host::CpuMask::single(0);
     /** Quarantine-style yield-polling instead of blocking run calls. */
     bool busyWaitRun = false;
+    /**
+     * The planner that reserved guestCores, if any. The runner then
+     * owns the reservations' release: exactly once, on teardown or on
+     * a failed start, with cores lost to hotplug failures quarantined
+     * (kept reserved) so they are never handed out again (I7).
+     */
+    CorePlanner* planner = nullptr;
 };
 
 class GappedVm
@@ -50,8 +59,11 @@ class GappedVm
      * Bring the CVM up: offline the dedicated cores (hotplug), hand
      * them to the monitor, and start the host-side threads. Await from
      * a process not running on the dedicated cores.
+     * @return false if a dedicated core could not be offlined (after
+     * one retry): every core taken so far is handed back, planner
+     * reservations are released, and the VM is not running.
      */
-    sim::Proc<void> start();
+    sim::Proc<bool> start();
 
     /**
      * After guest shutdown: destroy RECs (releasing the core binding),
@@ -126,6 +138,19 @@ class GappedVm
     /** Host-side async run-call round trip (post to response taken). */
     sim::LatencyStat& runCallRtt() { return runCallRtt_; }
 
+    /** Hung monitor loops reclaimed by terminate(). */
+    std::uint64_t hangReclaims() const { return hangReclaims_.value(); }
+
+    /** Cores lost to double hotplug failures (quarantined). */
+    std::uint64_t coresLost() const { return coresLost_.value(); }
+
+    /** @{ Recovery policy (effective only with faults armed). */
+    /** Wake-up thread watchdog sweep period (lost-doorbell rescue). */
+    static constexpr sim::Tick watchdogPeriod = 250 * sim::usec;
+    /** terminate() wait per vCPU before declaring the monitor hung. */
+    static constexpr sim::Tick parkDeadline = 3 * sim::msec;
+    /** @} */
+
   private:
     struct Park {
         bool requested = false;
@@ -138,6 +163,14 @@ class GappedVm
                                     std::uint64_t gen);
     sim::Proc<void> vcpuThreadBody(int idx);
     sim::Proc<void> wakeupThreadBody();
+
+    /** Online a reclaimed core, retrying once; false = core lost. */
+    sim::Proc<bool> onlineWithRetry(sim::CoreId core);
+
+    /** Release planner reservations exactly once (lost cores stay). */
+    void releasePlannerReservations();
+
+    bool isLostCore(sim::CoreId c) const;
 
     vmm::KvmVm& kvm_;
     rmm::Rmm& rmm_;
@@ -166,6 +199,17 @@ class GappedVm
     sim::Counter directInjections_;
     sim::StatGroup statGroup_;
     bool suspended_ = false;
+    /** A hung monitor loop blocks here forever (fault injection). */
+    sim::Notify hangNotify_;
+    /** Armed watchdog timer of the wake-up thread (see destructor). */
+    sim::EventId watchdogEvent_ = sim::invalidEventId;
+    /** A rering went out; the next delivery confirms the recovery. */
+    bool reringOutstanding_ = false;
+    bool plannerReleased_ = false;
+    std::vector<sim::CoreId> lostCores_;
+    sim::Counter hangReclaims_;
+    sim::Counter coresLost_;
+    sim::Counter hotplugRetries_;
 };
 
 } // namespace cg::core

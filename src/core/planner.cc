@@ -98,8 +98,13 @@ void
 CorePlanner::release(const std::vector<CoreId>& cores)
 {
     for (CoreId c : cores) {
-        CG_ASSERT(reserved_.at(static_cast<size_t>(c)),
-                  "releasing unreserved core %d", c);
+        if (c < 0 || c >= machine_.numCores())
+            sim::panic("planner: releasing nonexistent core %d", c);
+        if (!reserved_[static_cast<size_t>(c)]) {
+            sim::panic("planner: releasing core %d that is not "
+                       "reserved (double release, or a core the "
+                       "planner never handed out)", c);
+        }
         reserved_[static_cast<size_t>(c)] = false;
     }
 }

@@ -32,6 +32,42 @@ SyncRpcQueue::completePoke(std::uint64_t token)
     monitorPoke_.notifyAll();
 }
 
+void
+SyncRpcQueue::sendPoke(bool repoke)
+{
+    sim::Simulation& sim = machine_.sim();
+    sim::FaultPlan& faults = sim.faults();
+    if (faults.armed() &&
+        faults.query(sim::FaultSite::SyncRpcStall)) {
+        // The wire poke is lost: the call sits in the queue and the
+        // monitor is never notified. The caller's bounded busy-wait
+        // detects the stall and re-pokes.
+        return;
+    }
+    if (repoke) {
+        repokes_.inc();
+        sim.tracer().instant("syncrpc-repoke", sim::Tracer::domainsPid,
+                             traceDomain_);
+    }
+    const std::uint64_t tok = nextPokeToken_++;
+    const sim::EventId ev = sim.queue().scheduleIn(
+        machine_.cost(machine_.costs().cacheLineTransfer),
+        [this, tok] { completePoke(tok); });
+    pendingPokes_.push_back({tok, ev});
+}
+
+bool
+SyncRpcQueue::withdraw(const std::shared_ptr<SyncCall>& call)
+{
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == call) {
+            queue_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 Proc<rmm::RmiStatus>
 SyncRpcQueue::call(std::function<rmm::RmiStatus()> op)
 {
@@ -43,15 +79,44 @@ SyncRpcQueue::call(std::function<rmm::RmiStatus()> op)
     const hw::Costs& costs = machine_.costs();
     sim.tracer().instant("syncrpc-post", sim::Tracer::domainsPid,
                          traceDomain_);
-    const std::uint64_t tok = nextPokeToken_++;
-    const sim::EventId ev = sim.queue().scheduleIn(
-        machine_.cost(costs.cacheLineTransfer),
-        [this, tok] { completePoke(tok); });
-    pendingPokes_.push_back({tok, ev});
+    sendPoke(false);
     // Busy-wait for the response: the host thread spins (and thus
-    // consumes CPU) until the response line arrives.
-    while (!call->done)
+    // consumes CPU) until the response line arrives. With faults armed
+    // the spin is bounded; a stalled poke is retried with exponential
+    // backoff and eventually surfaced as RmiStatus::Timeout.
+    const bool bounded = sim.faults().armed();
+    Tick backoff = pokeTimeout;
+    Tick deadline = sim.now() + backoff;
+    int repokes = 0;
+    bool stalled = false;
+    while (!call->done) {
         co_await Compute{machine_.cost(costs.pollReaction)};
+        if (!bounded || call->done || sim.now() < deadline)
+            continue;
+        // Deadline passed. A call already picked up by a monitor core
+        // is in service and will complete; only a still-queued call
+        // has genuinely stalled.
+        if (!withdraw(call)) {
+            deadline = sim.now() + backoff;
+            continue;
+        }
+        sim.faults().noteDetected(sim::FaultSite::SyncRpcStall);
+        stalled = true;
+        if (repokes >= maxRepokes) {
+            // Give up: the op never ran, so the caller can retry.
+            timeouts_.inc();
+            sim.tracer().instant("syncrpc-timeout",
+                                 sim::Tracer::domainsPid, traceDomain_);
+            co_return rmm::RmiStatus::Timeout;
+        }
+        ++repokes;
+        queue_.push_back(call);
+        sendPoke(true);
+        backoff *= 2;
+        deadline = sim.now() + backoff;
+    }
+    if (stalled)
+        sim.faults().noteRecovered(sim::FaultSite::SyncRpcStall);
     co_return call->result;
 }
 
@@ -85,10 +150,30 @@ RunSlot::~RunSlot()
     machine_.sim().queue().cancel(pendingPublish_);
 }
 
+const char*
+RunSlot::stateName() const
+{
+    switch (state_) {
+      case State::Idle:
+        return "Idle";
+      case State::Posted:
+        return "Posted";
+      case State::Running:
+        return "Running";
+      case State::Done:
+        return "Done";
+    }
+    return "?";
+}
+
 void
 RunSlot::post(rmm::RecEnterArgs args)
 {
-    CG_ASSERT(state_ == State::Idle, "posting to a busy run slot");
+    // Retry/recovery paths must never double-post: overwriting args_
+    // while the monitor owns the slot would corrupt an in-flight run.
+    CG_ASSERT(state_ == State::Idle,
+              "RunSlot::post from state %s (only Idle may post; a "
+              "pending run call would be overwritten)", stateName());
     args_ = std::move(args);
     state_ = State::Posted;
     delivered_ = false;
@@ -102,7 +187,9 @@ RunSlot::post(rmm::RecEnterArgs args)
 Proc<rmm::RecEnterArgs>
 RunSlot::takeArgs()
 {
-    CG_ASSERT(state_ == State::Posted, "takeArgs with nothing posted");
+    CG_ASSERT(state_ == State::Posted,
+              "RunSlot::takeArgs from state %s (nothing posted)",
+              stateName());
     state_ = State::Running;
     co_await Compute{machine_.cost(machine_.costs().pollReaction)};
     co_return std::move(args_);
@@ -111,7 +198,9 @@ RunSlot::takeArgs()
 void
 RunSlot::publish(rmm::RecRunResult result)
 {
-    CG_ASSERT(state_ == State::Running, "publish without a run");
+    CG_ASSERT(state_ == State::Running,
+              "RunSlot::publish from state %s (only a Running slot "
+              "may publish; no run call is in flight)", stateName());
     result_ = std::move(result);
     // The exit record becomes host-visible after the line transfer;
     // the caller rings the doorbell separately.
@@ -126,7 +215,9 @@ RunSlot::publish(rmm::RecRunResult result)
 Proc<rmm::RecRunResult>
 RunSlot::takeResponse()
 {
-    CG_ASSERT(state_ == State::Done, "takeResponse with no response");
+    CG_ASSERT(state_ == State::Done,
+              "RunSlot::takeResponse from state %s (no response "
+              "published)", stateName());
     state_ = State::Idle;
     co_await Compute{
         machine_.cost(machine_.costs().cacheLineTransfer)};

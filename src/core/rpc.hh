@@ -51,6 +51,13 @@ struct SyncCall {
 /**
  * The shared-memory mailbox for short calls of one VM. Host side posts;
  * any of the VM's dedicated monitor cores services it while idle.
+ *
+ * With the simulation's fault plan armed, the busy-wait is bounded:
+ * after pokeTimeout of spinning without pickup the caller re-pokes the
+ * monitor (exponential backoff), and after maxRepokes the call is
+ * withdrawn from the queue and fails with RmiStatus::Timeout — the op
+ * never ran, so callers may retry safely (vmm::KvmVm does). Disarmed,
+ * the wait is unbounded and byte-identical to the pre-fault model.
  */
 class SyncRpcQueue
 {
@@ -76,9 +83,18 @@ class SyncRpcQueue
 
     std::uint64_t callsServed() const { return served_.value(); }
     const sim::Counter& servedStat() const { return served_; }
+    const sim::Counter& timeoutStat() const { return timeouts_; }
+    const sim::Counter& repokeStat() const { return repokes_; }
 
     /** VM-domain trace track for this queue's tracepoints. */
     void setTraceDomain(int domain) { traceDomain_ = domain; }
+
+    /** @{ Bounded-wait policy (effective only with faults armed). */
+    /** Base deadline before the first re-poke; doubles per retry. */
+    static constexpr Tick pokeTimeout = 500 * sim::usec;
+    /** Re-pokes before the call is withdrawn with Timeout. */
+    static constexpr int maxRepokes = 4;
+    /** @} */
 
   private:
     /** A wire-delay poke event that has not fired yet. */
@@ -89,10 +105,18 @@ class SyncRpcQueue
 
     void completePoke(std::uint64_t token);
 
+    /** Schedule the wire poke for a post (fault: may be stalled). */
+    void sendPoke(bool repoke);
+
+    /** Withdraw an unserviced call; false if already picked up. */
+    bool withdraw(const std::shared_ptr<SyncCall>& call);
+
     hw::Machine& machine_;
     sim::Notify& monitorPoke_;
     std::deque<std::shared_ptr<SyncCall>> queue_;
     sim::Counter served_;
+    sim::Counter timeouts_;
+    sim::Counter repokes_;
     int traceDomain_ = 0;
     /** In-flight wire events, cancelled if we are destroyed first. */
     std::vector<PendingPoke> pendingPokes_;
@@ -162,6 +186,9 @@ class RunSlot
 
   private:
     enum class State { Idle, Posted, Running, Done };
+
+    /** For panic messages from the state-machine guards. */
+    const char* stateName() const;
 
     hw::Machine& machine_;
     sim::Notify& monitorPoke_;

@@ -67,6 +67,7 @@ Kernel::registerStats(sim::StatRegistry& reg)
     statGroup_.add("ipis", stats_.ipis);
     statGroup_.add("irqs", stats_.irqs);
     statGroup_.add("hotplugOps", stats_.hotplugOps);
+    statGroup_.add("hotplugFailures", stats_.hotplugFailures);
 }
 
 // ---------------------------------------------------------------- threads
@@ -629,7 +630,7 @@ Kernel::migrateThreadsAway(CoreId c)
     }
 }
 
-Proc<void>
+Proc<bool>
 Kernel::offlineCore(CoreId c)
 {
     // Validate eagerly: coroutine bodies only run when awaited, but
@@ -651,9 +652,24 @@ Kernel::offlineCore(CoreId c)
     return offlineCoreImpl(c);
 }
 
-Proc<void>
+Proc<bool>
 Kernel::offlineCoreImpl(CoreId c)
 {
+    sim::FaultPlan& faults = sim().faults();
+    if (faults.armed() &&
+        faults.query(sim::FaultSite::HotplugOfflineFail)) {
+        // The offline attempt fails before any state is torn down
+        // (e.g. a CPUHP callback vetoed it): the core stays online
+        // with its threads and IRQ routes untouched; only the failed
+        // attempt's latency is paid.
+        stats_.hotplugFailures.inc();
+        faults.noteDetected(sim::FaultSite::HotplugOfflineFail);
+        sim().tracer().instant("hotplug-offline-fail",
+                               sim::Tracer::coresPid, c);
+        co_await sim::Delay{
+            machine_.cost(machine_.costs().hotplugOffline)};
+        co_return false;
+    }
     CoreSched& cs = cores_[static_cast<size_t>(c)];
     cs.online = false;
     stats_.hotplugOps.inc();
@@ -675,9 +691,10 @@ Kernel::offlineCoreImpl(CoreId c)
         machine_.cost(machine_.costs().hotplugOffline)};
     // Paper modification (section 4.2): skip the frequency-scaling
     // teardown and do not halt; the core stays hot for handover.
+    co_return true;
 }
 
-Proc<void>
+Proc<bool>
 Kernel::onlineCore(CoreId c)
 {
     if (isOnline(c))
@@ -685,9 +702,22 @@ Kernel::onlineCore(CoreId c)
     return onlineCoreImpl(c);
 }
 
-Proc<void>
+Proc<bool>
 Kernel::onlineCoreImpl(CoreId c)
 {
+    sim::FaultPlan& faults = sim().faults();
+    if (faults.armed() &&
+        faults.query(sim::FaultSite::HotplugOnlineFail)) {
+        // The bring-up fails after paying its latency; the core is
+        // left offline and the caller decides whether to retry.
+        stats_.hotplugFailures.inc();
+        faults.noteDetected(sim::FaultSite::HotplugOnlineFail);
+        sim().tracer().instant("hotplug-online-fail",
+                               sim::Tracer::coresPid, c);
+        co_await sim::Delay{
+            machine_.cost(machine_.costs().hotplugOnline)};
+        co_return false;
+    }
     stats_.hotplugOps.inc();
     sim().tracer().instant("hotplug-online", sim::Tracer::coresPid, c);
     co_await sim::Delay{machine_.cost(machine_.costs().hotplugOnline)};
@@ -699,6 +729,7 @@ Kernel::onlineCoreImpl(CoreId c)
     machine_.core(c).setWorld(hw::World::Normal);
     machine_.core(c).setOccupant(sim::hostDomain);
     scheduleDispatch(c);
+    co_return true;
 }
 
 // ------------------------------------------------------------ interrupts

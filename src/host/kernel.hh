@@ -148,6 +148,8 @@ struct KernelStats {
     sim::Counter ipis;
     sim::Counter irqs;
     sim::Counter hotplugOps;
+    /** Hotplug operations that failed (fault injection only). */
+    sim::Counter hotplugFailures;
 };
 
 class Kernel : public sim::Dispatcher
@@ -195,11 +197,17 @@ class Kernel : public sim::Dispatcher
      * per the paper's modification (section 4.2) — leave it running at
      * full frequency for handover to the security monitor instead of
      * halting it. Completes after the modelled hotplug latency.
+     * @return false if the operation failed (fault injection: the
+     * core is untouched and stays online); callers must handle it.
      */
-    Proc<void> offlineCore(CoreId c);
+    Proc<bool> offlineCore(CoreId c);
 
-    /** Bring @p c back online and start scheduling on it again. */
-    Proc<void> onlineCore(CoreId c);
+    /**
+     * Bring @p c back online and start scheduling on it again.
+     * @return false if the operation failed (fault injection: the
+     * core stays offline); callers may retry.
+     */
+    Proc<bool> onlineCore(CoreId c);
     /** @} */
 
     /** @{ Interrupts. */
@@ -255,8 +263,8 @@ class Kernel : public sim::Dispatcher
     void onGuestExitReady(Thread& t);
     void finishGuestRun(Thread& t);
     void abandonGuestRun(Thread& t);
-    Proc<void> offlineCoreImpl(CoreId c);
-    Proc<void> onlineCoreImpl(CoreId c);
+    Proc<bool> offlineCoreImpl(CoreId c);
+    Proc<bool> onlineCoreImpl(CoreId c);
     void enqueue(Thread& t);
     void requeueTail(Thread& t);
     CoreId pickCore(const Thread& t) const;

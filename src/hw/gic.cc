@@ -123,7 +123,19 @@ void
 Gic::sendSgi(CoreId target, IntId sgi)
 {
     CG_ASSERT(isSgi(sgi), "sendSgi with non-SGI id %d", sgi);
-    const Tick d = sim_.rng().jittered(costs_.sgiDeliver, costs_.jitter);
+    Tick extra = 0;
+    if (sim_.faults().armed()) {
+        if (sim_.faults().query(sim::FaultSite::IpiDrop)) {
+            // The SGI vanishes in the interconnect: no delivery event
+            // is ever scheduled. Recovery is the receiver's problem
+            // (doorbell watchdog, sync-RPC re-poke, guest timer tick).
+            return;
+        }
+        if (auto d = sim_.faults().query(sim::FaultSite::IpiDelay))
+            extra = *d != 0 ? *d : 64 * costs_.sgiDeliver;
+    }
+    const Tick d = extra +
+        sim_.rng().jittered(costs_.sgiDeliver, costs_.jitter);
     sim_.queue().scheduleIn(d, [this, target, sgi] {
         deliver(target, sgi);
     });

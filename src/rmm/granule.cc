@@ -40,6 +40,8 @@ rmiStatusName(RmiStatus s)
         return "no-memory";
       case RmiStatus::Busy:
         return "busy";
+      case RmiStatus::Timeout:
+        return "timeout";
     }
     return "?";
 }

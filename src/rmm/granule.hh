@@ -52,6 +52,7 @@ enum class RmiStatus {
     WrongCore,    ///< core-gapping binding violation (paper section 3)
     NoMemory,     ///< table walk needs an absent RTT level
     Busy,         ///< REC already running
+    Timeout,      ///< cross-core transport gave up (host-side status)
 };
 
 const char* rmiStatusName(RmiStatus s);

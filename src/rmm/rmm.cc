@@ -29,6 +29,7 @@ Rmm::registerStats(sim::StatRegistry& reg)
     statGroup_.add("wrongCoreRejections", stats_.wrongCoreRejections);
     statGroup_.add("rebinds", stats_.rebinds);
     statGroup_.add("rebindsRefused", stats_.rebindsRefused);
+    statGroup_.add("forcedStops", stats_.forcedStops);
     statGroup_.add("rsiCalls", stats_.rsiCalls);
     statGroup_.add("filteredInjections", stats_.filteredInjections);
 }
@@ -242,6 +243,23 @@ Rmm::recDestroy(int realm_id, int rec_id)
     granules_.release(rec->granule, GranuleState::Rec, realm_id);
     rec->state = RecState::Destroyed;
     rec->guest = nullptr;
+    return RmiStatus::Success;
+}
+
+RmiStatus
+Rmm::recForceStop(int realm_id, int rec_id)
+{
+    stats_.rmiCalls.inc();
+    Rec* rec = findRec(realm_id, rec_id);
+    if (!rec || rec->state == RecState::Destroyed)
+        return RmiStatus::BadState;
+    if (rec->state == RecState::Running) {
+        // The monitor context that was running this REC is discarded,
+        // not resumed: only valid when the caller has already taken the
+        // core away from the hung monitor loop.
+        rec->state = RecState::Stopped;
+        stats_.forcedStops.inc();
+    }
     return RmiStatus::Success;
 }
 

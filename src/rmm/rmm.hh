@@ -136,6 +136,8 @@ struct RmmStats {
     sim::Counter wrongCoreRejections;
     sim::Counter rebinds;
     sim::Counter rebindsRefused;
+    /** Running RECs force-stopped by the host (hung-monitor reclaim). */
+    sim::Counter forcedStops;
     /** Guest-initiated realm services handled inside the monitor. */
     sim::Counter rsiCalls;
     /** Host-supplied injections of monitor-owned interrupt ids that
@@ -180,6 +182,16 @@ class Rmm
     /** @{ RMI: RECs. */
     RmiStatus recCreate(int realm, PhysAddr granule, int& rec_out);
     RmiStatus recDestroy(int realm, int rec);
+
+    /**
+     * Host-forced stop of a REC whose monitor core loop stopped
+     * responding (EL3-assisted reclamation; the "terminated by the
+     * host" case of section 4.2). A Running REC is marked Stopped so
+     * recDestroy can release its granule and core binding; the caller
+     * must kill the monitor loop and scrub the core afterwards
+     * (GappedVm::terminate does both).
+     */
+    RmiStatus recForceStop(int realm, int rec);
     /** Attach the guest executor (done by the VMM model at boot). */
     void setGuestContext(int realm, int rec, GuestContext* guest);
     /** @} */

@@ -6,7 +6,9 @@ namespace cg::sim {
 
 Simulation::Simulation(std::uint64_t seed)
     : rng_(seed), freeDisp_(queue_)
-{}
+{
+    faults_.setTracer(&tracer_);
+}
 
 Simulation::~Simulation()
 {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/proc.hh"
 #include "sim/rng.hh"
 #include "sim/stat_registry.hh"
@@ -41,6 +42,10 @@ class Simulation
     /** The run's tracepoint ring (disabled by default; trace.hh). */
     Tracer& tracer() { return tracer_; }
     const Tracer& tracer() const { return tracer_; }
+
+    /** The run's fault-injection plan (inert by default; fault.hh). */
+    FaultPlan& faults() { return faults_; }
+    const FaultPlan& faults() const { return faults_; }
 
     /** Spawn a free-running process (hardware, firmware, fabric). */
     Process& spawn(std::string name, Proc<void> body);
@@ -72,6 +77,7 @@ class Simulation
     FreeDispatcher freeDisp_;
     StatRegistry stats_;
     Tracer tracer_{queue_};
+    FaultPlan faults_{queue_};
     std::vector<std::unique_ptr<Process>> processes_;
 };
 

@@ -39,6 +39,8 @@ KvmVm::registerStats(sim::StatRegistry& reg)
     statGroup_.add("wfiExits", stats_.wfiExits);
     statGroup_.add("pageFaultExits", stats_.pageFaultExits);
     statGroup_.add("injections", stats_.injections);
+    statGroup_.add("rmiRetries", stats_.rmiRetries);
+    statGroup_.add("rmiGiveUps", stats_.rmiGiveUps);
     statGroup_.add("runToRun", stats_.runToRun);
 }
 
@@ -261,6 +263,46 @@ KvmVm::handleMmio(int idx, ExitInfo e)
     }
 }
 
+Proc<rmm::RmiStatus>
+KvmVm::rmiCall(std::function<rmm::RmiStatus()> op)
+{
+    sim::Simulation& sim = kernel_.sim();
+    Tick backoff = rmiRetryDelay;
+    bool injected = false;
+    for (int attempt = 0;; ++attempt) {
+        rmm::RmiStatus s;
+        if (sim.faults().armed() &&
+            sim.faults().query(sim::FaultSite::RmiTransientError)) {
+            // The call reached the monitor but bounced off a transient
+            // resource shortage: a short round trip, no effect.
+            sim.faults().noteDetected(
+                sim::FaultSite::RmiTransientError);
+            injected = true;
+            co_await Compute{
+                cost(kernel_.machine().costs().pollReaction)};
+            s = rmm::RmiStatus::Busy;
+        } else {
+            s = co_await transport_->call(op);
+        }
+        const bool transient = s == rmm::RmiStatus::Busy ||
+                               s == rmm::RmiStatus::Timeout;
+        if (!transient) {
+            if (injected && s == rmm::RmiStatus::Success) {
+                sim.faults().noteRecovered(
+                    sim::FaultSite::RmiTransientError);
+            }
+            co_return s;
+        }
+        if (attempt >= maxRmiRetries) {
+            stats_.rmiGiveUps.inc();
+            co_return s;
+        }
+        stats_.rmiRetries.inc();
+        co_await sim::Delay{backoff};
+        backoff *= 2;
+    }
+}
+
 Proc<void>
 KvmVm::cvmMapPage(std::uint64_t ipa)
 {
@@ -293,25 +335,64 @@ KvmVm::cvmMapPage(std::uint64_t ipa)
                       rmm::rmiStatusName(s));
             continue;
         }
-        co_await transport_->call(
+        const rmm::RmiStatus dg = co_await rmiCall(
             [rmm, g] { return rmm->granuleDelegate(g); });
-        const rmm::RmiStatus s = co_await transport_->call(
+        if (dg != rmm::RmiStatus::Success) {
+            sim::warn("%s: granuleDelegate gave up: %s (page fault "
+                      "unserviced; the guest refaults)",
+                      vm_.name().c_str(), rmm::rmiStatusName(dg));
+            co_return;
+        }
+        const rmm::RmiStatus s = co_await rmiCall(
             [rmm, realm, page, level, g] {
                 return rmm->rttCreate(realm, page, level, g);
             });
+        if (s == rmm::RmiStatus::Busy ||
+            s == rmm::RmiStatus::Timeout) {
+            sim::warn("%s: rttCreate gave up: %s (page fault "
+                      "unserviced; the guest refaults)",
+                      vm_.name().c_str(), rmm::rmiStatusName(s));
+            co_return;
+        }
+        if (s == rmm::RmiStatus::BadState) {
+            // Lost a benign race: another vCPU's fault handler created
+            // this level between our walk and the monitor running the
+            // call. Hand the granule back and re-walk.
+            rmm->granuleUndelegate(g);
+            continue;
+        }
         CG_ASSERT(s == rmm::RmiStatus::Success, "rttCreate: %s",
                   rmm::rmiStatusName(s));
     }
     const std::uint64_t g = nextGranule_;
     nextGranule_ += rmm::granuleSize;
     rmm::Rmm* rmm = rmm_;
-    co_await transport_->call(
+    const rmm::RmiStatus dg = co_await rmiCall(
         [rmm, g] { return rmm->granuleDelegate(g); });
+    if (dg != rmm::RmiStatus::Success) {
+        sim::warn("%s: granuleDelegate gave up: %s (page fault "
+                  "unserviced; the guest refaults)",
+                  vm_.name().c_str(), rmm::rmiStatusName(dg));
+        co_return;
+    }
     const int realm = realmId_;
-    const rmm::RmiStatus s = co_await transport_->call(
+    const rmm::RmiStatus s = co_await rmiCall(
         [rmm, realm, page, g] {
             return rmm->dataCreateUnknown(realm, page, g);
         });
+    if (s == rmm::RmiStatus::Busy || s == rmm::RmiStatus::Timeout) {
+        sim::warn("%s: dataCreateUnknown gave up: %s (page fault "
+                  "unserviced; the guest refaults)",
+                  vm_.name().c_str(), rmm::rmiStatusName(s));
+        co_return;
+    }
+    if (s == rmm::RmiStatus::BadState &&
+        r->rtt.translate(page).has_value()) {
+        // Same benign race on the leaf: the page got mapped while our
+        // call was in flight.
+        rmm->granuleUndelegate(g);
+        co_return;
+    }
     CG_ASSERT(s == rmm::RmiStatus::Success, "dataCreateUnknown: %s",
               rmm::rmiStatusName(s));
 }

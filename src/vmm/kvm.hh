@@ -104,6 +104,10 @@ struct KvmStats {
     sim::Counter wfiExits;
     sim::Counter pageFaultExits;
     sim::Counter injections;
+    /** RMI calls re-issued after a transient Busy/Timeout status. */
+    sim::Counter rmiRetries;
+    /** RMI calls abandoned after maxRmiRetries transient failures. */
+    sim::Counter rmiGiveUps;
     /** Time from a vCPU exit to its next (re-)entry. */
     sim::LatencyStat runToRun;
 };
@@ -188,11 +192,28 @@ class KvmVm
     /** Take (and clear) a pending MMIO read response. */
     std::optional<std::uint64_t> takeMmioResponse(int vcpu);
 
+    /** @{ Transient-RMI retry policy. */
+    /** Re-issues of one RMI call before giving up on it. */
+    static constexpr int maxRmiRetries = 4;
+    /** Backoff before the first re-issue; doubles per retry. */
+    static constexpr Tick rmiRetryDelay = 2 * sim::usec;
+    /** @} */
+
   private:
     Proc<void> vcpuThreadShared(int idx);
     Proc<void> vcpuThreadSharedCvm(int idx);
     Proc<void> handleMmio(int idx, rmm::ExitInfo e);
     Proc<void> cvmMapPage(std::uint64_t ipa);
+
+    /**
+     * Issue an RMI through the transport with transient-failure
+     * handling: Busy and Timeout statuses are retried with
+     * exponential backoff up to maxRmiRetries times (both mean the
+     * operation did not run, so a re-issue is safe), then surfaced to
+     * the caller. Fault injection (RmiTransientError) produces the
+     * Busy responses in testing.
+     */
+    Proc<rmm::RmiStatus> rmiCall(std::function<rmm::RmiStatus()> op);
     MmioRange* findMmio(std::uint64_t addr);
     void onVcpuShutdown();
     Tick cost(Tick nominal);

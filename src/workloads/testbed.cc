@@ -56,6 +56,19 @@ Testbed::Testbed(Config cfg) : cfg_(cfg)
     observed_ = sim::ObservabilityRequest::claim();
     if (observed_ && !sim::ObservabilityRequest::tracePath().empty())
         sim_->tracer().enable();
+
+    // --faults from the bench harness: unlike --stats/--trace there is
+    // no claim — every testbed in a sweep arms the same plan, each
+    // mixed with its own simulation seed, so the sweep as a whole
+    // stays deterministic (I9).
+    if (sim::FaultPlanRequest::requested()) {
+        sim_->faults().arm(
+            sim::FaultPlanRequest::seed() ^
+                (cfg_.seed * 0x9e3779b97f4a7c15ull),
+            sim::FaultPlan::parse(sim::FaultPlanRequest::planText()));
+        if (observed_)
+            sim_->faults().registerStats(sim_->stats());
+    }
 }
 
 Testbed::~Testbed()
@@ -144,7 +157,7 @@ VmInstance&
 Testbed::createVmOn(const std::string& name,
                     std::vector<sim::CoreId> guest_cores,
                     host::CpuMask host_mask, int num_vcpus,
-                    guest::VmConfig base)
+                    guest::VmConfig base, cg::core::CorePlanner* planner)
 {
     auto inst = std::make_unique<VmInstance>();
     base.name = name;
@@ -178,6 +191,7 @@ Testbed::createVmOn(const std::string& name,
         gcfg.guestCores = guest_cores;
         gcfg.hostCores = host_mask;
         gcfg.busyWaitRun = cfg_.mode == RunMode::CoreGappedBusyWait;
+        gcfg.planner = planner;
         inst->gapped = std::make_unique<cg::core::GappedVm>(
             *inst->kvm, *doorbell_, gcfg);
     }
@@ -236,10 +250,15 @@ Proc<void>
 Testbed::startAll()
 {
     for (auto& v : vms_) {
-        if (v->gapped)
-            co_await v->gapped->start();
-        else
+        if (v->gapped) {
+            if (!co_await v->gapped->start()) {
+                ++startFailures_;
+                sim::warn("testbed: VM '%s' failed to start (cores "
+                          "handed back)", v->vm->name().c_str());
+            }
+        } else {
             v->kvm->start();
+        }
     }
     started_.open();
 }

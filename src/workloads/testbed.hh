@@ -96,12 +96,14 @@ class Testbed
      * Full-control variant: @p guest_cores dedicated cores (gapped) or
      * vCPU affinity (shared) and an explicit host mask for VMM
      * threads; @p num_vcpus vCPUs. Used by fig. 7's many-VMs-one-host-
-     * core setup.
+     * core setup. If @p planner is given (gapped modes), the VM's
+     * runner owns releasing its reservations (see GappedVmConfig).
      */
     VmInstance& createVmOn(const std::string& name,
                            std::vector<sim::CoreId> guest_cores,
                            host::CpuMask host_mask, int num_vcpus,
-                           guest::VmConfig base = {});
+                           guest::VmConfig base = {},
+                           cg::core::CorePlanner* planner = nullptr);
 
     /** @{ Attach devices (before start). */
     void addVirtioNet(VmInstance& v);
@@ -125,6 +127,9 @@ class Testbed
 
     /** All VMs' guests have shut down? */
     bool allShutdown() const;
+
+    /** Gapped VMs whose start() rolled back (fault injection). */
+    int startFailures() const { return startFailures_; }
 
     /** Run until everything quiesces or @p limit; @return end time. */
     Tick run(Tick limit = sim::maxTick);
@@ -151,6 +156,7 @@ class Testbed
     std::vector<std::unique_ptr<VmInstance>> vms_;
     sim::Gate started_;
     int nextCore_ = 0;
+    int startFailures_ = 0;
     bool observed_ = false; ///< this testbed owns --stats/--trace output
     int nextDomain_ = sim::firstVmDomain;
     std::uint64_t nextMmioBase_ = 0x0a000000;

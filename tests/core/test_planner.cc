@@ -95,6 +95,22 @@ TEST_F(PlannerFixture, SpillsAcrossNodesWhenNeeded)
     EXPECT_EQ(r->size(), 6u);
 }
 
+TEST_F(PlannerFixture, DoubleReleasePanics)
+{
+    boot(4, 4, host::CpuMask::single(0));
+    auto r = planner->reserve(2);
+    ASSERT_TRUE(r.has_value());
+    planner->release(*r);
+    EXPECT_DEATH(planner->release(*r), "not.*reserved");
+}
+
+TEST_F(PlannerFixture, ReleasingUnreservedCorePanics)
+{
+    boot(4, 4, host::CpuMask::single(0));
+    EXPECT_DEATH(planner->release({2}), "not.*reserved");
+    EXPECT_DEATH(planner->release({99}), "nonexistent");
+}
+
 TEST_F(PlannerFixture, IsReservedTracksState)
 {
     boot(4, 4, host::CpuMask::single(0));
