@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hh"
 #include "sim/fault.hh"
 #include "sim/trace.hh"
 
@@ -98,6 +99,10 @@ writeJsonReport()
  *                    every Testbed the run constructs
  *   --fault-seed <n> seed for the plan's probabilistic triggers
  *                    (default 1; mixed with each Testbed's sim seed)
+ *   --check          arm the isolation checker (check::IsolationChecker)
+ *                    in every Testbed; leak edges land in the stats
+ *                    dump ("check.leakEdges.*") and the trace
+ *   --check-abort    as --check, but abort on the first leak edge
  */
 inline void
 initHarness(int argc, char** argv)
@@ -108,6 +113,8 @@ initHarness(int argc, char** argv)
     std::string trace_path;
     std::string fault_plan;
     std::uint64_t fault_seed = 1;
+    bool check_requested = false;
+    bool check_abort = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             detail::json_path = argv[++i];
@@ -123,11 +130,17 @@ initHarness(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--fault-seed") == 0 &&
                    i + 1 < argc) {
             fault_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check_requested = true;
+        } else if (std::strcmp(argv[i], "--check-abort") == 0) {
+            check_requested = true;
+            check_abort = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json <path>] [--stats <path>] "
                          "[--trace <path>] [--faults <plan>] "
-                         "[--fault-seed <n>]\n",
+                         "[--fault-seed <n>] [--check] "
+                         "[--check-abort]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -135,6 +148,8 @@ initHarness(int argc, char** argv)
     cg::sim::ObservabilityRequest::configure(stats_path, trace_path);
     if (!fault_plan.empty())
         cg::sim::FaultPlanRequest::configure(fault_plan, fault_seed);
+    if (check_requested)
+        cg::check::CheckRequest::configure(check_abort);
     std::atexit(detail::writeJsonReport);
 }
 

@@ -1,40 +1,77 @@
 #!/usr/bin/env bash
 # The full CI gate, as run before merging a PR:
 #
-#   1. tier-1: configure + build the primary tree and run every test
-#   2. chaos:  re-run the fault-injection suites by name (unit fault
+#   1. lint:   tools/cg-lint (+ clang-tidy when installed) -- static
+#              repo invariants: stat registration, tracepoint catalog,
+#              realm-side domain discipline, hot-path containers,
+#              include guards
+#   2. tier-1: configure + build the primary tree and run every test
+#   3. chaos:  re-run the fault-injection suites by name (unit fault
 #              plans, full-testbed chaos runs, and the bench smokes
 #              that drive fig7 / ext_fault_recovery under a plan) —
-#              redundant with step 1 but kept as a separate, fast gate
+#              redundant with step 2 but kept as a separate, fast gate
 #              so fault-injection regressions are named in CI output
-#   3. sanitize: rebuild under ASan+UBSan and run the whole suite
+#   4. check:  the isolation-checker gate --
+#                a. fig7 under --check twice; both runs must succeed
+#                   and print byte-identical tables (the checker is
+#                   pure observation and replays deterministically)
+#                b. the must-fire suite: a seeded scrub-skip fault MUST
+#                   produce a leak edge, proving the checker can
+#                   actually fail a run (a checker that cannot fire is
+#                   worse than none)
+#   5. sanitize: rebuild under ASan+UBSan and run the whole suite
+#   6. tsan:   rebuild under ThreadSanitizer and run the threaded
+#              suites (ParallelRunner sweeps) with scripts/tsan.supp
 #
-# Usage: scripts/ci.sh [--skip-sanitize]
+# Usage: scripts/ci.sh [--skip-sanitize] [--skip-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_SANITIZE=0
+SKIP_TSAN=0
 for arg in "$@"; do
     case "$arg" in
       --skip-sanitize) SKIP_SANITIZE=1 ;;
-      *) echo "usage: scripts/ci.sh [--skip-sanitize]" >&2; exit 2 ;;
+      --skip-tsan) SKIP_TSAN=1 ;;
+      *)
+        echo "usage: scripts/ci.sh [--skip-sanitize] [--skip-tsan]" >&2
+        exit 2
+        ;;
     esac
 done
 
-echo "==> [1/3] tier-1 build + test"
+echo "==> [1/6] lint (cg-lint + clang-tidy when available)"
+scripts/lint.sh
+
+echo "==> [2/6] tier-1 build + test"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/3] chaos gate (fault injection + recovery)"
+echo "==> [3/6] chaos gate (fault injection + recovery)"
 ctest --test-dir build --output-on-failure -R '[Cc]haos|FaultPlan'
 
+echo "==> [4/6] isolation-checker gate"
+echo "  --> --check smoke + replay determinism (fig7)"
+build/bench/fig7_multi_vm --check > build/check_fig7_a.txt
+build/bench/fig7_multi_vm --check > build/check_fig7_b.txt
+diff build/check_fig7_a.txt build/check_fig7_b.txt
+echo "  --> must-fire: seeded scrub-skip fault raises a leak edge"
+ctest --test-dir build --output-on-failure -R 'CheckMustFire'
+
 if [ "$SKIP_SANITIZE" = 1 ]; then
-    echo "==> [3/3] sanitize: skipped (--skip-sanitize)"
+    echo "==> [5/6] sanitize: skipped (--skip-sanitize)"
 else
-    echo "==> [3/3] sanitize build + test"
+    echo "==> [5/6] sanitize build + test"
     scripts/sanitize.sh
+fi
+
+if [ "$SKIP_TSAN" = 1 ]; then
+    echo "==> [6/6] tsan: skipped (--skip-tsan)"
+else
+    echo "==> [6/6] tsan build + threaded suites"
+    scripts/sanitize.sh --tsan -R 'Parallel|Sweep|Request'
 fi
 
 echo "==> CI green"

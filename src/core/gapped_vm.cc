@@ -251,10 +251,18 @@ GappedVm::teardown()
     // again — without this, the cores would hand the host exactly the
     // per-core side channel core gapping exists to close.
     for (sim::CoreId core : cfg_.guestCores) {
-        hw::CoreUarch& u = machine.core(core).uarch();
-        for (hw::TaggedStructure* st : u.all()) {
-            st->flushDomain(guest_domain);
-            st->flushDomain(sim::monitorDomain);
+        // Fault site for the checker's must-fire test: a skipped scrub
+        // is exactly the broken mitigation the paper's invariant (I10)
+        // forbids, and check::IsolationChecker must flag it.
+        const bool skip_scrub =
+            machine.sim().faults().query(sim::FaultSite::ScrubSkip)
+                .has_value();
+        if (!skip_scrub) {
+            hw::CoreUarch& u = machine.core(core).uarch();
+            for (hw::TaggedStructure* st : u.all()) {
+                st->flushDomain(guest_domain);
+                st->flushDomain(sim::monitorDomain);
+            }
         }
         const Tick t = machine.switchWorld(core, hw::World::Normal);
         co_await sim::Delay{t};

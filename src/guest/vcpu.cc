@@ -64,6 +64,9 @@ VCpu::enterOn(CoreId core)
     // other domains evicted from this core since it last ran here,
     // charged as a delay before its next instruction completes.
     hw::Core& hw_core = machine().core(core);
+    // Record who is executing so a probe on this core has a correct
+    // observer identity (shared modes enter guests without the RMM).
+    hw_core.setOccupant(domain());
     stealGuestCpu(
         hw_core.uarch().warmupCost(domain(), vm_.config().footprint));
     hw_core.uarch().run(domain(), vm_.config().footprint);

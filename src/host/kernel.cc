@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "sim/simulation.hh"
 
 namespace cg::host {
@@ -673,6 +674,8 @@ Kernel::offlineCoreImpl(CoreId c)
     CoreSched& cs = cores_[static_cast<size_t>(c)];
     cs.online = false;
     stats_.hotplugOps.inc();
+    if (auto* chk = machine_.checker())
+        chk->onHotplug(c, /*offline=*/true);
     sim().tracer().instant("hotplug-offline", sim::Tracer::coresPid, c);
     migrateThreadsAway(c);
     // Retarget device interrupts at the first remaining online core.
@@ -719,6 +722,10 @@ Kernel::onlineCoreImpl(CoreId c)
         co_return false;
     }
     stats_.hotplugOps.inc();
+    // Reclaim audit: the host is about to own this core again; any
+    // confidential residue still here is a dirty handback.
+    if (auto* chk = machine_.checker())
+        chk->onHotplug(c, /*offline=*/false);
     sim().tracer().instant("hotplug-online", sim::Tracer::coresPid, c);
     co_await sim::Delay{machine_.cost(machine_.costs().hotplugOnline)};
     CoreSched& cs = cores_[static_cast<size_t>(c)];

@@ -1,5 +1,6 @@
 #include "hw/machine.hh"
 
+#include "check/checker.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -22,6 +23,14 @@ worldName(World w)
 Core::Core(CoreId id, int numa_node, const Costs& costs)
     : id_(id), numaNode_(numa_node), uarch_(costs)
 {}
+
+void
+Core::setOccupant(DomainId d)
+{
+    occupant_ = d;
+    if (checker_)
+        checker_->onOccupant(id_, d);
+}
 
 Machine::Machine(sim::Simulation& sim, MachineConfig cfg)
     : sim_(sim), cfg_(cfg)
@@ -76,8 +85,39 @@ Machine::switchWorld(CoreId core_id, World to)
         t += cost(cfg_.costs.mitigationFlush);
         c.uarch().mitigationFlush();
     }
+    // The checker audits the realm -> normal direction: after the
+    // firmware flush, nothing confidential may remain on the core.
+    if (checker_ && boundary && to == World::Normal)
+        checker_->onNormalWorldReturn(core_id);
     c.setWorld(to);
     return t;
+}
+
+void
+Machine::attachChecker(check::IsolationChecker* checker)
+{
+    checker_ = checker;
+    for (auto& core : cores_) {
+        core->checker_ = checker;
+        for (TaggedStructure* s : core->uarch().all()) {
+            if (!checker) {
+                s->bindChecker(nullptr, -1);
+                continue;
+            }
+            const std::string name =
+                "core" + std::to_string(core->id()) + "." + s->name();
+            s->bindChecker(checker,
+                           checker->registerStructure(name, core->id()));
+        }
+    }
+    for (TaggedStructure* s : {&shared_->llc, &shared_->stagingBuffer}) {
+        if (!checker) {
+            s->bindChecker(nullptr, -1);
+            continue;
+        }
+        s->bindChecker(checker, checker->registerStructure(
+                                    s->name(), sim::invalidCore));
+    }
 }
 
 } // namespace cg::hw

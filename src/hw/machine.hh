@@ -53,17 +53,20 @@ class Core
 
     /** The security domain whose code is (or last was) executing. */
     DomainId occupant() const { return occupant_; }
-    void setOccupant(DomainId d) { occupant_ = d; }
+    void setOccupant(DomainId d);
 
     CoreUarch& uarch() { return uarch_; }
     const CoreUarch& uarch() const { return uarch_; }
 
   private:
+    friend class Machine; ///< binds checker_ in attachChecker()
+
     CoreId id_;
     int numaNode_;
     World world_ = World::Normal;
     DomainId occupant_ = sim::hostDomain;
     CoreUarch uarch_;
+    check::IsolationChecker* checker_ = nullptr;
 };
 
 struct MachineConfig {
@@ -97,12 +100,24 @@ class Machine
      */
     sim::Tick switchWorld(CoreId core, World to);
 
+    /**
+     * Attach an isolation checker: registers every per-core and shared
+     * structure with it and routes occupant/world transitions through
+     * it. Pass nullptr to detach. Observation only — simulated results
+     * are bit-identical with or without a checker attached.
+     */
+    void attachChecker(check::IsolationChecker* checker);
+
+    /** The attached checker, or nullptr. */
+    check::IsolationChecker* checker() const { return checker_; }
+
   private:
     sim::Simulation& sim_;
     MachineConfig cfg_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<Gic> gic_;
     std::unique_ptr<SharedUarch> shared_;
+    check::IsolationChecker* checker_ = nullptr;
 };
 
 } // namespace cg::hw

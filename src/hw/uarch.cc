@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "sim/logging.hh"
 
 namespace cg::hw {
@@ -37,16 +38,25 @@ TaggedStructure::findShare(DomainId d) const
 void
 TaggedStructure::touch(DomainId d, std::size_t entries)
 {
+    CG_ASSERT(d != sim::invalidDomain,
+              "touch on '%s' with invalid domain", name_.c_str());
     const std::size_t target = std::min(entries, capacity_);
     auto it = findShare(d);
     if (it == held_.end() || it->dom != d)
         it = held_.insert(it, DomainShare{d, 0});
-    if (target <= it->count)
-        return; // working set already resident
+    if (target <= it->count) {
+        // Working set already resident; still an access for the
+        // checker's last-touch bookkeeping.
+        if (checker_)
+            checker_->onTouch(checkId_, d, it->count);
+        return;
+    }
     const std::size_t grow = target - it->count;
     std::size_t others = used_ - it->count;
     it->count = target;
     used_ += grow;
+    if (checker_)
+        checker_->onTouch(checkId_, d, target);
     if (used_ <= capacity_)
         return;
     // Evict the overflow proportionally from other domains. Each
@@ -66,6 +76,8 @@ TaggedStructure::touch(DomainId d, std::size_t entries)
         cnt -= take;
         used_ -= take;
         overflow -= take;
+        if (cnt == 0 && checker_)
+            checker_->onEvict(checkId_, dom);
     }
     // Rounding may leave a few entries; sweep them up.
     for (auto& [dom, cnt] : held_) {
@@ -77,16 +89,27 @@ TaggedStructure::touch(DomainId d, std::size_t entries)
         cnt -= take;
         used_ -= take;
         overflow -= take;
+        if (cnt == 0 && checker_)
+            checker_->onEvict(checkId_, dom);
     }
     CG_ASSERT(used_ <= capacity_, "'%s' overfull after eviction",
               name_.c_str());
 }
 
 std::size_t
-TaggedStructure::entriesOf(DomainId d) const
+TaggedStructure::residentCount(DomainId d) const
 {
     auto it = findShare(d);
     return (it == held_.end() || it->dom != d) ? 0 : it->count;
+}
+
+std::size_t
+TaggedStructure::entriesOf(DomainId d) const
+{
+    const std::size_t count = residentCount(d);
+    if (checker_)
+        checker_->onProbe(checkId_, d, count);
+    return count;
 }
 
 std::size_t
@@ -97,6 +120,8 @@ TaggedStructure::foreignEntries(DomainId prober) const
         if (dom != prober)
             total += cnt;
     }
+    if (checker_)
+        checker_->onProbeForeign(checkId_, prober, total);
     return total;
 }
 
@@ -105,23 +130,32 @@ TaggedStructure::flushAll()
 {
     held_.clear();
     used_ = 0;
+    if (checker_)
+        checker_->onFlushAll(checkId_);
 }
 
 void
 TaggedStructure::flushDomain(DomainId d)
 {
+    CG_ASSERT(d != sim::invalidDomain,
+              "flushDomain on '%s' with invalid domain", name_.c_str());
     auto it = findShare(d);
-    if (it == held_.end() || it->dom != d)
+    if (it == held_.end() || it->dom != d) {
+        if (checker_)
+            checker_->onFlushDomain(checkId_, d);
         return;
+    }
     used_ -= it->count;
     held_.erase(it);
+    if (checker_)
+        checker_->onFlushDomain(checkId_, d);
 }
 
 Tick
 TaggedStructure::warmupCost(DomainId d, std::size_t footprint) const
 {
     const std::size_t want = std::min(footprint, capacity_);
-    const std::size_t have = entriesOf(d);
+    const std::size_t have = residentCount(d);
     if (have >= want)
         return 0;
     return static_cast<Tick>(want - have) * refillPerEntry_;

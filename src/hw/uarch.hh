@@ -30,6 +30,10 @@
 #include "sim/small_vec.hh"
 #include "sim/types.hh"
 
+namespace cg::check {
+class IsolationChecker;
+}
+
 namespace cg::hw {
 
 using sim::DomainId;
@@ -45,6 +49,17 @@ class TaggedStructure
     const std::string& name() const { return name_; }
     std::size_t capacity() const { return capacity_; }
     std::size_t used() const { return used_; }
+
+    /**
+     * Report every touch/probe/flush on this structure to @p checker
+     * as structure @p sid (see check::IsolationChecker). Unbound
+     * structures pay one branch per operation.
+     */
+    void bindChecker(check::IsolationChecker* checker, int sid)
+    {
+        checker_ = checker;
+        checkId_ = sid;
+    }
 
     /**
      * Domain @p d references a working set of @p entries entries.
@@ -96,11 +111,17 @@ class TaggedStructure
     ShareVec::iterator findShare(DomainId d);
     ShareVec::const_iterator findShare(DomainId d) const;
 
+    /** entriesOf() without the checker probe event (internal reads —
+     * warm-up accounting — are not attacker observations). */
+    std::size_t residentCount(DomainId d) const;
+
     std::string name_;
     std::size_t capacity_;
     Tick refillPerEntry_;
     std::size_t used_ = 0;
     ShareVec held_;
+    check::IsolationChecker* checker_ = nullptr;
+    int checkId_ = -1;
 };
 
 /** Per-core private microarchitectural state. */

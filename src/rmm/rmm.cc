@@ -1,5 +1,6 @@
 #include "rmm/rmm.hh"
 
+#include "check/checker.hh"
 #include "sim/simulation.hh"
 
 namespace cg::rmm {
@@ -324,10 +325,14 @@ Rmm::recRebind(int realm_id, int rec_id, CoreId new_core)
         return RmiStatus::Busy;
     }
     // Scrub the guest's microarchitectural residue from the old core
-    // before anyone else can run there.
-    hw::CoreUarch& old_uarch = machine_.core(rec->boundCore).uarch();
-    for (hw::TaggedStructure* s : old_uarch.all())
-        s->flushDomain(r->domain);
+    // before anyone else can run there. The scrub-skip fault site
+    // models a buggy monitor that forgets; the isolation checker must
+    // catch the residue at the next handback or dispatch.
+    if (!machine_.sim().faults().query(sim::FaultSite::ScrubSkip)) {
+        hw::CoreUarch& old_uarch = machine_.core(rec->boundCore).uarch();
+        for (hw::TaggedStructure* s : old_uarch.all())
+            s->flushDomain(r->domain);
+    }
     dedicated_.erase(rec->boundCore);
     dedicated_[new_core] = {realm_id, rec_id};
     rec->boundCore = new_core;
@@ -386,6 +391,10 @@ Rmm::recEnter(int realm_id, int rec_id, RecEnterArgs args, CoreId core,
         dedicated_[core] = {realm_id, rec_id};
     }
     rec.state = RecState::Running;
+    // A REC dispatch onto a core still carrying another realm's
+    // residue is a dirty-enter leak edge; audit before the guest runs.
+    if (auto* chk = machine_.checker())
+        chk->onRecEnter(core, r.domain);
     machine_.sim().tracer().begin("rec-run", sim::Tracer::coresPid,
                                   core);
     GuestContext& g = *rec.guest;
@@ -485,6 +494,8 @@ Rmm::recEnter(int realm_id, int rec_id, RecEnterArgs args, CoreId core,
         stats_.irqRelatedExitsToHost.inc();
     machine_.sim().tracer().end("rec-run", sim::Tracer::coresPid, core,
                                 "exit", exitReasonName(exit.reason));
+    if (auto* chk = machine_.checker())
+        chk->onRecExit(core, r.domain);
     co_return res;
 }
 

@@ -19,6 +19,7 @@ constexpr const char* siteNames[numFaultSites] = {
     "hotplug-offline-fail",
     "hotplug-online-fail",
     "rmi-transient-error",
+    "scrub-skip",
 };
 
 } // namespace

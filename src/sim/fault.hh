@@ -50,9 +50,10 @@ enum class FaultSite : int {
     HotplugOfflineFail, ///< a core refuses to offline
     HotplugOnlineFail,  ///< a core refuses to come back online
     RmiTransientError,  ///< an RMI call bounces with a Busy status
+    ScrubSkip,          ///< a teardown/rebind scrub is silently skipped
 };
 
-constexpr int numFaultSites = 8;
+constexpr int numFaultSites = 9;
 
 /** Stable kebab-case site name ("ipi-drop", ...). */
 const char* faultSiteName(FaultSite s);

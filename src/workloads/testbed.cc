@@ -69,6 +69,20 @@ Testbed::Testbed(Config cfg) : cfg_(cfg)
         if (observed_)
             sim_->faults().registerStats(sim_->stats());
     }
+
+    // --check from the bench harness: like --faults every testbed in a
+    // sweep gets its own checker. The checker is pure observation, so
+    // arming it cannot change any simulated result.
+    if (check::CheckRequest::requested()) {
+        check::IsolationChecker::Config ccfg;
+        ccfg.abortOnLeak = check::CheckRequest::abortOnLeak();
+        checker_ = std::make_unique<check::IsolationChecker>(
+            sim_->queue(), ccfg);
+        machine_->attachChecker(checker_.get());
+        checker_->setTracer(&sim_->tracer());
+        if (observed_)
+            checker_->registerStats(sim_->stats());
+    }
 }
 
 Testbed::~Testbed()

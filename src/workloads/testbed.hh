@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hh"
 #include "core/doorbell.hh"
 #include "core/gapped_vm.hh"
 #include "core/planner.hh"
@@ -83,6 +84,9 @@ class Testbed
     RunMode mode() const { return cfg_.mode; }
     const Config& config() const { return cfg_; }
 
+    /** The isolation checker, when `--check` armed one (else null). */
+    check::IsolationChecker* checker() { return checker_.get(); }
+
     /**
      * Build a VM occupying @p phys_cores physical cores starting at
      * the next free core (paper accounting: shared modes get
@@ -147,6 +151,7 @@ class Testbed
     Config cfg_;
     std::unique_ptr<sim::Simulation> sim_;
     std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<check::IsolationChecker> checker_;
     std::unique_ptr<host::Kernel> kernel_;
     std::unique_ptr<vmm::KickBroker> kicks_;
     std::unique_ptr<rmm::Rmm> rmm_;

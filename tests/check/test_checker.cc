@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for check::IsolationChecker: leak-edge detection per
+ * kind, scrub/eviction clearing residency state, self-observation and
+ * shared-structure exemptions, report contents, dedup, abort mode,
+ * the TaggedStructure binding, and the invalid-domain asserts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/checker.hh"
+#include "hw/machine.hh"
+#include "hw/uarch.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+#include "sim/stat_registry.hh"
+
+namespace sim = cg::sim;
+namespace hw = cg::hw;
+namespace check = cg::check;
+using check::IsolationChecker;
+using check::LeakKind;
+
+namespace {
+
+constexpr sim::DomainId vmA = sim::firstVmDomain;
+constexpr sim::DomainId vmB = sim::firstVmDomain + 1;
+
+struct CheckerFixture {
+    sim::EventQueue q;
+    IsolationChecker chk;
+    int sid;
+
+    explicit CheckerFixture(IsolationChecker::Config cfg = {})
+        : chk(q, cfg), sid(chk.registerStructure("core0.l1d", 0))
+    {}
+};
+
+} // namespace
+
+TEST(Checker, ProbeOfRealmResidueByAnotherDomainIsALeakEdge)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, vmA, 10);
+    // Default occupant is the host: a host probe observes the residue.
+    f.chk.onProbe(f.sid, vmA, 10);
+    ASSERT_EQ(f.chk.edgeTotal(), 1u);
+    EXPECT_EQ(f.chk.edgeCount(LeakKind::ProbeResidue), 1u);
+    const check::LeakEdge& e = f.chk.edges().at(0);
+    EXPECT_EQ(e.kind, LeakKind::ProbeResidue);
+    EXPECT_EQ(e.structure, "core0.l1d");
+    EXPECT_EQ(e.core, 0);
+    EXPECT_EQ(e.victim, vmA);
+    EXPECT_EQ(e.observer, sim::hostDomain);
+}
+
+TEST(Checker, ScrubBetweenTouchAndProbeClearsTheEdge)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onFlushDomain(f.sid, vmA);
+    f.chk.onProbe(f.sid, vmA, 0);
+    EXPECT_EQ(f.chk.edgeTotal(), 0u);
+
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onFlushAll(f.sid);
+    f.chk.onProbe(f.sid, vmA, 0);
+    EXPECT_EQ(f.chk.edgeTotal(), 0u);
+}
+
+TEST(Checker, EvictionToZeroClearsResidency)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onEvict(f.sid, vmA);
+    f.chk.onProbe(f.sid, vmA, 0);
+    f.chk.onRecEnter(0, vmB);
+    f.chk.onNormalWorldReturn(0);
+    EXPECT_EQ(f.chk.edgeTotal(), 0u);
+}
+
+TEST(Checker, SelfObservationIsBenign)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onOccupant(0, vmA);
+    f.chk.onProbe(f.sid, vmA, 10);
+    EXPECT_EQ(f.chk.edgeTotal(), 0u);
+}
+
+TEST(Checker, HostAndMonitorResidueAreNotConfidential)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, sim::hostDomain, 10);
+    f.chk.onTouch(f.sid, sim::monitorDomain, 10);
+    f.chk.onProbe(f.sid, sim::hostDomain, 10);
+    f.chk.onProbe(f.sid, sim::monitorDomain, 10);
+    f.chk.onRecEnter(0, vmA);
+    f.chk.onNormalWorldReturn(0);
+    EXPECT_EQ(f.chk.edgeTotal(), 0u);
+}
+
+TEST(Checker, SharedStructuresAreOutOfScope)
+{
+    sim::EventQueue q;
+    IsolationChecker chk(q);
+    const int llc = chk.registerStructure("llc", sim::invalidCore);
+    chk.onTouch(llc, vmA, 100);
+    chk.onProbe(llc, vmA, 100);
+    chk.onProbeForeign(llc, vmB, 100);
+    EXPECT_EQ(chk.edgeTotal(), 0u);
+    EXPECT_EQ(chk.eventCount(), 3u);
+}
+
+TEST(Checker, DirtyEnterFlagsAnotherRealmsResidue)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onRecEnter(0, vmA); // same realm: benign
+    EXPECT_EQ(f.chk.edgeTotal(), 0u);
+    f.chk.onRecEnter(0, vmB); // different realm: dirty enter
+    ASSERT_EQ(f.chk.edgeTotal(), 1u);
+    EXPECT_EQ(f.chk.edgeCount(LeakKind::DirtyEnter), 1u);
+    EXPECT_EQ(f.chk.edges().at(0).observer, vmB);
+    EXPECT_EQ(f.chk.edges().at(0).victim, vmA);
+}
+
+TEST(Checker, DirtyHandbackFiresOncePerResidue)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onNormalWorldReturn(0);
+    f.chk.onNormalWorldReturn(0); // same residue: deduplicated
+    f.chk.onHotplug(0, /*offline=*/false);
+    EXPECT_EQ(f.chk.edgeCount(LeakKind::DirtyHandback), 1u);
+    // A fresh touch re-arms the report.
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onNormalWorldReturn(0);
+    EXPECT_EQ(f.chk.edgeCount(LeakKind::DirtyHandback), 2u);
+}
+
+TEST(Checker, ForeignProbeFlagsEveryOtherResidentRealm)
+{
+    CheckerFixture f;
+    f.chk.onTouch(f.sid, vmA, 10);
+    f.chk.onTouch(f.sid, vmB, 10);
+    f.chk.onProbeForeign(f.sid, vmB, 10);
+    ASSERT_EQ(f.chk.edgeTotal(), 1u);
+    EXPECT_EQ(f.chk.edges().at(0).victim, vmA);
+    EXPECT_EQ(f.chk.edges().at(0).observer, vmB);
+}
+
+TEST(Checker, ZeroCountProbesAreBenign)
+{
+    CheckerFixture f;
+    f.chk.onProbe(f.sid, vmA, 0);
+    f.chk.onProbeForeign(f.sid, vmB, 0);
+    EXPECT_EQ(f.chk.edgeTotal(), 0u);
+    EXPECT_EQ(f.chk.eventCount(), 2u);
+}
+
+TEST(Checker, EdgeRecordsTicksAndEventWindow)
+{
+    sim::EventQueue q;
+    IsolationChecker chk(q);
+    const int sid = chk.registerStructure("core0.tlb", 0);
+    chk.onTouch(sid, vmA, 10);
+    const sim::Tick touch_at = q.now();
+    chk.onOccupant(0, sim::hostDomain); // 1 intervening event
+    chk.onFlushDomain(sid, vmB);        // 2 intervening events
+    chk.onProbe(sid, vmA, 10);
+    ASSERT_EQ(chk.edgeTotal(), 1u);
+    const check::LeakEdge& e = chk.edges().at(0);
+    EXPECT_EQ(e.touchTick, touch_at);
+    EXPECT_EQ(e.leakTick, q.now());
+    EXPECT_EQ(e.eventsBetween, 2u);
+    EXPECT_NE(chk.dumpText().find("probe-residue"), std::string::npos);
+    EXPECT_NE(chk.dumpText().find("core0.tlb"), std::string::npos);
+}
+
+TEST(Checker, StoredEdgesAreCappedButCountersAreExact)
+{
+    sim::EventQueue q;
+    IsolationChecker::Config cfg;
+    cfg.maxStoredEdges = 2;
+    IsolationChecker chk(q, cfg);
+    const int sid = chk.registerStructure("core0.l1d", 0);
+    chk.onTouch(sid, vmA, 10);
+    for (int i = 0; i < 5; ++i)
+        chk.onProbe(sid, vmA, 10);
+    EXPECT_EQ(chk.edgeTotal(), 5u);
+    EXPECT_EQ(chk.edges().size(), 2u);
+}
+
+TEST(Checker, RegisterStatsExposesCheckNamespace)
+{
+    // The registry must outlive the checker's StatGroup (groups
+    // deregister on destruction), as it does in Simulation.
+    sim::StatRegistry reg;
+    CheckerFixture f;
+    f.chk.registerStats(reg);
+    EXPECT_TRUE(reg.has("check.events"));
+    EXPECT_TRUE(reg.has("check.probes"));
+    EXPECT_TRUE(reg.has("check.leakEdges.total"));
+    EXPECT_TRUE(reg.has("check.leakEdges.probe-residue"));
+    EXPECT_TRUE(reg.has("check.leakEdges.dirty-enter"));
+    EXPECT_TRUE(reg.has("check.leakEdges.dirty-handback"));
+}
+
+TEST(CheckerDeathTest, AbortOnLeakPanics)
+{
+    sim::EventQueue q;
+    IsolationChecker::Config cfg;
+    cfg.abortOnLeak = true;
+    IsolationChecker chk(q, cfg);
+    const int sid = chk.registerStructure("core0.l1d", 0);
+    chk.onTouch(sid, vmA, 10);
+    EXPECT_DEATH(chk.onProbe(sid, vmA, 10), "isolation leak edge");
+}
+
+// ------------------------------------------------ TaggedStructure glue
+
+TEST(CheckerBinding, TaggedStructureReportsThroughTheChecker)
+{
+    sim::EventQueue q;
+    IsolationChecker chk(q);
+    hw::TaggedStructure s("l1d", 1024, 1);
+    s.bindChecker(&chk, chk.registerStructure("core0.l1d", 0));
+
+    s.touch(vmA, 100);
+    EXPECT_EQ(s.entriesOf(vmA), 100u); // host-observed probe
+    EXPECT_EQ(chk.edgeTotal(), 1u);
+
+    s.flushDomain(vmA);
+    EXPECT_EQ(s.entriesOf(vmA), 0u);
+    EXPECT_EQ(chk.edgeTotal(), 1u); // scrubbed: no new edge
+
+    // warmupCost is an internal read, not an attacker observation.
+    const std::uint64_t probes_before = chk.eventCount();
+    (void)s.warmupCost(vmA, 100);
+    EXPECT_EQ(chk.eventCount(), probes_before);
+}
+
+TEST(CheckerBinding, EvictionToZeroIsReportedAsEvict)
+{
+    sim::EventQueue q;
+    IsolationChecker chk(q);
+    hw::TaggedStructure s("l1d", 100, 1);
+    s.bindChecker(&chk, chk.registerStructure("core0.l1d", 0));
+    s.touch(vmA, 40);
+    // vmB's working set fills the structure; vmA is fully evicted.
+    s.touch(vmB, 100);
+    // The mirror must agree vmA's residue is gone: the handback flags
+    // vmB (still resident, a real edge) but never the evicted vmA.
+    chk.onNormalWorldReturn(0);
+    EXPECT_EQ(chk.edgeCount(check::LeakKind::DirtyHandback), 1u);
+    for (const auto& e : chk.edges())
+        EXPECT_NE(e.victim, vmA);
+}
+
+TEST(CheckerBinding, UnboundStructureEmitsNothing)
+{
+    hw::TaggedStructure s("l1d", 1024, 1);
+    s.touch(vmA, 100);
+    EXPECT_EQ(s.entriesOf(vmA), 100u);
+    EXPECT_EQ(s.foreignEntries(vmB), 100u);
+    s.flushAll();
+    EXPECT_EQ(s.used(), 0u);
+}
+
+TEST(CheckerBinding, MachineAttachRegistersEveryStructure)
+{
+    sim::Simulation s(1);
+    hw::MachineConfig mcfg;
+    mcfg.numCores = 2;
+    hw::Machine m(s, mcfg);
+    sim::EventQueue q;
+    IsolationChecker chk(q);
+    m.attachChecker(&chk);
+    EXPECT_EQ(m.checker(), &chk);
+
+    // Any structure on any core reports: touch + probe as the host.
+    m.core(1).uarch().l1d.touch(vmA, 10);
+    (void)m.core(1).uarch().l1d.entriesOf(vmA);
+    EXPECT_EQ(chk.edgeTotal(), 1u);
+    EXPECT_EQ(chk.edges().at(0).structure, "core1.l1d");
+
+    // Shared structures are registered but never produce edges.
+    m.shared().llc.touch(vmA, 10);
+    (void)m.shared().llc.entriesOf(vmA);
+    EXPECT_EQ(chk.edgeTotal(), 1u);
+
+    m.attachChecker(nullptr);
+    EXPECT_EQ(m.checker(), nullptr);
+    m.core(1).uarch().l1d.touch(vmA, 10); // no dangling emission
+}
+
+// ------------------------------------- invalid-domain rejection (bugfix)
+
+TEST(UarchDomainDeathTest, TouchRejectsInvalidDomain)
+{
+    hw::TaggedStructure s("l1d", 1024, 1);
+    EXPECT_DEATH(s.touch(sim::invalidDomain, 10), "invalid domain");
+}
+
+TEST(UarchDomainDeathTest, FlushDomainRejectsInvalidDomain)
+{
+    hw::TaggedStructure s("l1d", 1024, 1);
+    EXPECT_DEATH(s.flushDomain(sim::invalidDomain), "invalid domain");
+}
