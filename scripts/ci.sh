@@ -4,7 +4,7 @@
 #   1. lint:   tools/cg-lint (+ clang-tidy when installed) -- static
 #              repo invariants: stat registration, tracepoint catalog,
 #              realm-side domain discipline, hot-path containers,
-#              include guards
+#              stat-handle caching, include guards
 #   2. tier-1: configure + build the primary tree and run every test
 #   3. chaos:  re-run the fault-injection suites by name (unit fault
 #              plans, full-testbed chaos runs, and the bench smokes
@@ -19,40 +19,48 @@
 #                   produce a leak edge, proving the checker can
 #                   actually fail a run (a checker that cannot fire is
 #                   worse than none)
-#   5. sanitize: rebuild under ASan+UBSan and run the whole suite
-#   6. tsan:   rebuild under ThreadSanitizer and run the threaded
+#   5. perf:   tools/perf-gate -- build Release and compare
+#              sim_microbench events/sec against the committed
+#              BENCH_PR<N>.json baseline; >10% regression fails. The
+#              gate skips itself (warning, exit 0) on non-Release or
+#              sanitizer builds, where throughput is meaningless.
+#   6. sanitize: rebuild under ASan+UBSan and run the whole suite
+#   7. tsan:   rebuild under ThreadSanitizer and run the threaded
 #              suites (ParallelRunner sweeps) with scripts/tsan.supp
 #
-# Usage: scripts/ci.sh [--skip-sanitize] [--skip-tsan]
+# Usage: scripts/ci.sh [--skip-sanitize] [--skip-tsan] [--skip-perf]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_SANITIZE=0
 SKIP_TSAN=0
+SKIP_PERF=0
 for arg in "$@"; do
     case "$arg" in
       --skip-sanitize) SKIP_SANITIZE=1 ;;
       --skip-tsan) SKIP_TSAN=1 ;;
+      --skip-perf) SKIP_PERF=1 ;;
       *)
-        echo "usage: scripts/ci.sh [--skip-sanitize] [--skip-tsan]" >&2
+        echo "usage: scripts/ci.sh [--skip-sanitize] [--skip-tsan]" \
+             "[--skip-perf]" >&2
         exit 2
         ;;
     esac
 done
 
-echo "==> [1/6] lint (cg-lint + clang-tidy when available)"
+echo "==> [1/7] lint (cg-lint + clang-tidy when available)"
 scripts/lint.sh
 
-echo "==> [2/6] tier-1 build + test"
+echo "==> [2/7] tier-1 build + test"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/6] chaos gate (fault injection + recovery)"
+echo "==> [3/7] chaos gate (fault injection + recovery)"
 ctest --test-dir build --output-on-failure -R '[Cc]haos|FaultPlan'
 
-echo "==> [4/6] isolation-checker gate"
+echo "==> [4/7] isolation-checker gate"
 echo "  --> --check smoke + replay determinism (fig7)"
 build/bench/fig7_multi_vm --check > build/check_fig7_a.txt
 build/bench/fig7_multi_vm --check > build/check_fig7_b.txt
@@ -60,17 +68,26 @@ diff build/check_fig7_a.txt build/check_fig7_b.txt
 echo "  --> must-fire: seeded scrub-skip fault raises a leak edge"
 ctest --test-dir build --output-on-failure -R 'CheckMustFire'
 
-if [ "$SKIP_SANITIZE" = 1 ]; then
-    echo "==> [5/6] sanitize: skipped (--skip-sanitize)"
+if [ "$SKIP_PERF" = 1 ]; then
+    echo "==> [5/7] perf gate: skipped (--skip-perf)"
 else
-    echo "==> [5/6] sanitize build + test"
+    echo "==> [5/7] perf gate (sim_microbench vs committed baseline)"
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$(nproc)"
+    tools/perf-gate --build-dir build-release
+fi
+
+if [ "$SKIP_SANITIZE" = 1 ]; then
+    echo "==> [6/7] sanitize: skipped (--skip-sanitize)"
+else
+    echo "==> [6/7] sanitize build + test"
     scripts/sanitize.sh
 fi
 
 if [ "$SKIP_TSAN" = 1 ]; then
-    echo "==> [6/6] tsan: skipped (--skip-tsan)"
+    echo "==> [7/7] tsan: skipped (--skip-tsan)"
 else
-    echo "==> [6/6] tsan build + threaded suites"
+    echo "==> [7/7] tsan build + threaded suites"
     scripts/sanitize.sh --tsan -R 'Parallel|Sweep|Request'
 fi
 

@@ -1,6 +1,7 @@
 #include "core/rpc.hh"
 
 #include "sim/simulation.hh"
+#include "sim/slab.hh"
 
 namespace cg::core {
 
@@ -71,7 +72,13 @@ SyncRpcQueue::withdraw(const std::shared_ptr<SyncCall>& call)
 Proc<rmm::RmiStatus>
 SyncRpcQueue::call(std::function<rmm::RmiStatus()> op)
 {
-    auto call = std::make_shared<SyncCall>();
+    // The token's shared_ptr semantics are load-bearing for teardown
+    // (caller killed mid-call, queue destroyed with pokes in flight --
+    // see tests/core/test_rpc_teardown.cc); allocate_shared over the
+    // slab keeps those semantics while recycling the control-block+
+    // token allocation that every call otherwise pays.
+    auto call = std::allocate_shared<SyncCall>(
+        sim::SlabAllocator<SyncCall>{});
     call->op = std::move(op);
     queue_.push_back(call);
     // The argument cache line travels to the polling monitor core.

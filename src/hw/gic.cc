@@ -1,5 +1,6 @@
 #include "hw/gic.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -167,22 +168,30 @@ Gic::routeSpi(IntId spi, CoreId target)
 {
     CG_ASSERT(isSpi(spi), "routeSpi with non-SPI id %d", spi);
     CG_ASSERT(target >= 0 && target < numCores(), "bad SPI route");
-    spiRoutes_[spi] = target;
+    auto it = std::lower_bound(
+        spiRoutes_.begin(), spiRoutes_.end(), spi,
+        [](const SpiRoute& r, IntId id) { return r.spi < id; });
+    if (it != spiRoutes_.end() && it->spi == spi)
+        it->target = target;
+    else
+        spiRoutes_.insert(it, SpiRoute{spi, target});
 }
 
 CoreId
 Gic::spiRoute(IntId spi) const
 {
-    auto it = spiRoutes_.find(spi);
-    return it == spiRoutes_.end() ? 0 : it->second;
+    auto it = std::lower_bound(
+        spiRoutes_.begin(), spiRoutes_.end(), spi,
+        [](const SpiRoute& r, IntId id) { return r.spi < id; });
+    return (it == spiRoutes_.end() || it->spi != spi) ? 0 : it->target;
 }
 
 void
 Gic::migrateSpisAway(CoreId core, CoreId fallback)
 {
-    for (auto& [spi, route] : spiRoutes_) {
-        if (route == core)
-            route = fallback;
+    for (SpiRoute& r : spiRoutes_) {
+        if (r.target == core)
+            r.target = fallback;
     }
 }
 

@@ -25,11 +25,11 @@
 #include <array>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "hw/costs.hh"
+#include "sim/small_vec.hh"
 #include "sim/stat_registry.hh"
 #include "sim/types.hh"
 
@@ -157,10 +157,23 @@ class Gic
 
     void deliver(CoreId core, IntId id);
 
+    /** One SPI's affinity; kept sorted by spi id. */
+    struct SpiRoute {
+        IntId spi;
+        CoreId target;
+    };
+
     sim::Simulation& sim_;
     const Costs& costs_;
     std::vector<PerCore> percore_;
-    std::map<IntId, CoreId> spiRoutes_;
+    /**
+     * SPI affinity table. A handful of routed SPIs per machine, looked
+     * up on every SPI raise: a sorted inline vector (the same idiom as
+     * the uarch share census) beats a node-based map. Ascending-spi
+     * order matches the old std::map iteration order, so
+     * migrateSpisAway rewrites routes in the identical sequence.
+     */
+    sim::SmallVec<SpiRoute, 8> spiRoutes_;
     sim::Counter delivered_;
     sim::StatGroup statGroup_;
 };

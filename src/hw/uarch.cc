@@ -17,22 +17,12 @@ TaggedStructure::TaggedStructure(std::string name, std::size_t capacity,
               name_.c_str());
 }
 
-TaggedStructure::ShareVec::iterator
-TaggedStructure::findShare(DomainId d)
+std::size_t
+TaggedStructure::shareIndex(DomainId d) const
 {
-    return std::lower_bound(held_.begin(), held_.end(), d,
-                            [](const DomainShare& s, DomainId dom) {
-                                return s.dom < dom;
-                            });
-}
-
-TaggedStructure::ShareVec::const_iterator
-TaggedStructure::findShare(DomainId d) const
-{
-    return std::lower_bound(held_.begin(), held_.end(), d,
-                            [](const DomainShare& s, DomainId dom) {
-                                return s.dom < dom;
-                            });
+    const DomainId* first = doms_.begin();
+    return static_cast<std::size_t>(
+        std::lower_bound(first, doms_.end(), d) - first);
 }
 
 void
@@ -41,19 +31,21 @@ TaggedStructure::touch(DomainId d, std::size_t entries)
     CG_ASSERT(d != sim::invalidDomain,
               "touch on '%s' with invalid domain", name_.c_str());
     const std::size_t target = std::min(entries, capacity_);
-    auto it = findShare(d);
-    if (it == held_.end() || it->dom != d)
-        it = held_.insert(it, DomainShare{d, 0});
-    if (target <= it->count) {
+    std::size_t i = shareIndex(d);
+    if (i == doms_.size() || doms_[i] != d) {
+        doms_.insert(doms_.begin() + i, d);
+        counts_.insert(counts_.begin() + i, 0);
+    }
+    if (target <= counts_[i]) {
         // Working set already resident; still an access for the
         // checker's last-touch bookkeeping.
         if (checker_)
-            checker_->onTouch(checkId_, d, it->count);
+            checker_->onTouch(checkId_, d, counts_[i]);
         return;
     }
-    const std::size_t grow = target - it->count;
-    std::size_t others = used_ - it->count;
-    it->count = target;
+    const std::size_t grow = target - counts_[i];
+    std::size_t others = used_ - counts_[i];
+    counts_[i] = target;
     used_ += grow;
     if (checker_)
         checker_->onTouch(checkId_, d, target);
@@ -61,36 +53,39 @@ TaggedStructure::touch(DomainId d, std::size_t entries)
         return;
     // Evict the overflow proportionally from other domains. Each
     // victim's share is computed against the original overflow so the
-    // eviction is fair regardless of iteration order.
+    // eviction is fair regardless of iteration order. The loops sweep
+    // the dense counts_ array; doms_ is consulted only to skip the
+    // toucher and to name fully-evicted victims to the checker.
     const std::size_t total_overflow = used_ - capacity_;
     std::size_t overflow = total_overflow;
     CG_ASSERT(others >= overflow, "eviction accounting broken in '%s'",
               name_.c_str());
-    for (auto& [dom, cnt] : held_) {
-        if (dom == d || cnt == 0 || overflow == 0)
+    const std::size_t n = counts_.size();
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t cnt = counts_[j];
+        if (j == i || cnt == 0 || overflow == 0)
             continue;
         // Round to nearest so we track the fair share closely.
         std::size_t take =
             std::min(cnt, (cnt * total_overflow + others / 2) / others);
         take = std::min(take, overflow);
-        cnt -= take;
+        counts_[j] = cnt - take;
         used_ -= take;
         overflow -= take;
-        if (cnt == 0 && checker_)
-            checker_->onEvict(checkId_, dom);
+        if (counts_[j] == 0 && checker_)
+            checker_->onEvict(checkId_, doms_[j]);
     }
     // Rounding may leave a few entries; sweep them up.
-    for (auto& [dom, cnt] : held_) {
-        if (overflow == 0)
-            break;
-        if (dom == d || cnt == 0)
+    for (std::size_t j = 0; j < n && overflow != 0; ++j) {
+        const std::size_t cnt = counts_[j];
+        if (j == i || cnt == 0)
             continue;
         const std::size_t take = std::min(cnt, overflow);
-        cnt -= take;
+        counts_[j] = cnt - take;
         used_ -= take;
         overflow -= take;
-        if (cnt == 0 && checker_)
-            checker_->onEvict(checkId_, dom);
+        if (counts_[j] == 0 && checker_)
+            checker_->onEvict(checkId_, doms_[j]);
     }
     CG_ASSERT(used_ <= capacity_, "'%s' overfull after eviction",
               name_.c_str());
@@ -99,8 +94,8 @@ TaggedStructure::touch(DomainId d, std::size_t entries)
 std::size_t
 TaggedStructure::residentCount(DomainId d) const
 {
-    auto it = findShare(d);
-    return (it == held_.end() || it->dom != d) ? 0 : it->count;
+    const std::size_t i = shareIndex(d);
+    return (i == doms_.size() || doms_[i] != d) ? 0 : counts_[i];
 }
 
 std::size_t
@@ -115,11 +110,9 @@ TaggedStructure::entriesOf(DomainId d) const
 std::size_t
 TaggedStructure::foreignEntries(DomainId prober) const
 {
-    std::size_t total = 0;
-    for (const auto& [dom, cnt] : held_) {
-        if (dom != prober)
-            total += cnt;
-    }
+    // used_ is the sum of all counts by invariant, so the foreign
+    // total is one subtraction instead of a sweep.
+    const std::size_t total = used_ - residentCount(prober);
     if (checker_)
         checker_->onProbeForeign(checkId_, prober, total);
     return total;
@@ -128,7 +121,8 @@ TaggedStructure::foreignEntries(DomainId prober) const
 void
 TaggedStructure::flushAll()
 {
-    held_.clear();
+    doms_.clear();
+    counts_.clear();
     used_ = 0;
     if (checker_)
         checker_->onFlushAll(checkId_);
@@ -139,14 +133,15 @@ TaggedStructure::flushDomain(DomainId d)
 {
     CG_ASSERT(d != sim::invalidDomain,
               "flushDomain on '%s' with invalid domain", name_.c_str());
-    auto it = findShare(d);
-    if (it == held_.end() || it->dom != d) {
+    const std::size_t i = shareIndex(d);
+    if (i == doms_.size() || doms_[i] != d) {
         if (checker_)
             checker_->onFlushDomain(checkId_, d);
         return;
     }
-    used_ -= it->count;
-    held_.erase(it);
+    used_ -= counts_[i];
+    doms_.erase(doms_.begin() + i);
+    counts_.erase(counts_.begin() + i);
     if (checker_)
         checker_->onFlushDomain(checkId_, d);
 }

@@ -93,23 +93,26 @@ class TaggedStructure
     Tick warmupCost(DomainId d, std::size_t footprint) const;
 
   private:
-    /** One domain's share of the structure's entries. */
-    struct DomainShare {
-        DomainId dom;
-        std::size_t count;
-    };
-
     /**
-     * Shares, kept sorted by domain id. touch() runs on every
-     * scheduling quantum for six structures per core, so this is a
-     * flat inline vector (a handful of domains per structure) instead
-     * of a node-based map; the sorted order preserves the previous
-     * std::map iteration order, keeping eviction results bit-identical.
+     * The share census is struct-of-arrays: domain ids and counts in
+     * parallel inline vectors, both ordered by ascending domain id.
+     * touch() runs on every scheduling quantum for six structures per
+     * core, and its proportional-eviction loops read every count while
+     * consulting a domain id only to skip the toucher (and to name
+     * eviction victims to the checker); splitting the arrays keeps the
+     * counts the loops actually sweep densely packed instead of
+     * interleaved with ids and padding. The ascending-id order
+     * preserves the previous sorted-AoS (and original std::map)
+     * iteration order, keeping eviction results bit-identical.
+     *
+     * Invariant: doms_.size() == counts_.size(), and used_ is exactly
+     * the sum of counts_.
      */
-    using ShareVec = sim::SmallVec<DomainShare, 8>;
+    using DomVec = sim::SmallVec<DomainId, 8>;
+    using CountVec = sim::SmallVec<std::size_t, 8>;
 
-    ShareVec::iterator findShare(DomainId d);
-    ShareVec::const_iterator findShare(DomainId d) const;
+    /** Index of @p d in doms_, or the insertion point (lower bound). */
+    std::size_t shareIndex(DomainId d) const;
 
     /** entriesOf() without the checker probe event (internal reads —
      * warm-up accounting — are not attacker observations). */
@@ -119,7 +122,8 @@ class TaggedStructure
     std::size_t capacity_;
     Tick refillPerEntry_;
     std::size_t used_ = 0;
-    ShareVec held_;
+    DomVec doms_;     ///< ascending domain id
+    CountVec counts_; ///< counts_[i] belongs to doms_[i]
     check::IsolationChecker* checker_ = nullptr;
     int checkId_ = -1;
 };

@@ -44,14 +44,7 @@ class EventFn
                   !std::is_same_v<D, EventFn> && std::is_invocable_v<D&>>>
     EventFn(F&& f)
     {
-        if constexpr (fitsInline<D>) {
-            ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
-            ops_ = &inlineOps<D>;
-        } else {
-            ::new (static_cast<void*>(buf_))
-                D*(new D(std::forward<F>(f)));
-            ops_ = &heapOps<D>;
-        }
+        init<F>(std::forward<F>(f));
     }
 
     EventFn(EventFn&& o) noexcept : ops_(o.ops_)
@@ -99,7 +92,37 @@ class EventFn
         }
     }
 
+    /**
+     * Construct a callable in place, replacing any held one. Lets a
+     * recycled storage slot take a fresh callable with no EventFn
+     * temporary and no relocation.
+     */
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, EventFn> && std::is_invocable_v<D&>>>
+    void
+    emplace(F&& f)
+    {
+        reset();
+        init<F>(std::forward<F>(f));
+    }
+
   private:
+    template <typename F, typename D = std::decay_t<F>>
+    void
+    init(F&& f)
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            ::new (static_cast<void*>(buf_))
+                D*(new D(std::forward<F>(f)));
+            ops_ = &heapOps<D>;
+        }
+    }
+
     struct Ops {
         void (*invoke)(void* self);
         /** Move-construct into @p dst and destroy @p src. */

@@ -1,31 +1,36 @@
 #include "sim/event_queue.hh"
 
+#include <new>
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/slab.hh"
 
 namespace cg::sim {
 
-std::uint32_t
-EventQueue::acquireSlot()
+void
+EventQueue::ChunkDeleter::operator()(Chunk* c) const noexcept
 {
-    if (!freeSlots_.empty()) {
-        const std::uint32_t idx = freeSlots_.back();
-        freeSlots_.pop_back();
-        return idx;
-    }
-    CG_ASSERT(slots_.size() < UINT32_MAX, "event slot pool exhausted");
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
+    c->~Chunk();
+    slabFree(c, sizeof(Chunk));
+}
+
+std::uint32_t
+EventQueue::appendSlot()
+{
+    const std::size_t idx = gens_.size();
+    CG_ASSERT(idx < UINT32_MAX, "event slot pool exhausted");
+    if ((idx & (chunkSize - 1)) == 0)
+        chunks_.push_back(ChunkPtr(new (slabAlloc(sizeof(Chunk))) Chunk));
+    gens_.push_back(1); // odd: occupied from birth
+    return static_cast<std::uint32_t>(idx);
 }
 
 void
 EventQueue::releaseSlot(std::uint32_t idx)
 {
-    Slot& s = slots_[idx];
-    s.fn.reset();
-    s.live = false;
-    ++s.gen; // invalidate outstanding ids / heap entries for this slot
+    fnAt(idx).reset();
+    ++gens_[idx]; // odd -> even: free; invalidates outstanding ids
     freeSlots_.push_back(idx);
 }
 
@@ -79,29 +84,10 @@ EventQueue::schedule(Tick when, EventFn fn)
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
     const std::uint32_t idx = acquireSlot();
-    Slot& s = slots_[idx];
-    s.fn = std::move(fn);
-    s.live = true;
-    const Entry e{when, nextSeq_++, idx, s.gen};
-    if (sortedHead_ == sorted_.size()) {
-        // Fully consumed: recycle the run. Anything may start it.
-        sorted_.clear();
-        sortedHead_ = 0;
-        sorted_.push_back(e);
-    } else if (!e.before(sorted_.back())) {
-        sorted_.push_back(e); // monotone arrival: O(1) fast path
-    } else {
-        heapPush(e); // out-of-order arrival
-    }
-    ++live_;
-    return makeId(idx, s.gen);
-}
-
-EventId
-EventQueue::scheduleIn(Tick delay, EventFn fn)
-{
-    CG_ASSERT(delay <= maxTick - now_, "tick overflow");
-    return schedule(now_ + delay, std::move(fn));
+    fnAt(idx) = std::move(fn);
+    const std::uint32_t gen = gens_[idx];
+    pushEntry(when, idx, gen);
+    return makeId(idx, gen);
 }
 
 bool
@@ -111,11 +97,10 @@ EventQueue::cancel(EventId id)
         return false;
     const std::uint64_t slot_plus1 = id & 0xffffffffULL;
     const auto gen = static_cast<std::uint32_t>(id >> 32);
-    if (slot_plus1 == 0 || slot_plus1 > slots_.size())
+    if (slot_plus1 == 0 || slot_plus1 > gens_.size())
         return false;
     const auto idx = static_cast<std::uint32_t>(slot_plus1 - 1);
-    Slot& s = slots_[idx];
-    if (!s.live || s.gen != gen)
+    if (gens_[idx] != gen)
         return false; // already ran, already cancelled, or slot reused
     releaseSlot(idx);
     CG_ASSERT(live_ > 0, "cancel accounting underflow");
@@ -167,6 +152,28 @@ EventQueue::dropMin(const Entry* top)
     }
 }
 
+void
+EventQueue::runSlot(std::uint32_t idx)
+{
+    // Consume before invoking: the callback may schedule or try to
+    // cancel its own id (must fail). The slot joins the free list only
+    // after the call returns, even if the callback throws.
+    ++gens_[idx]; // odd -> even: consumed
+    --live_;
+    EventFn& fn = fnAt(idx);
+    struct Recycle {
+        EventQueue* q;
+        EventFn* fn;
+        std::uint32_t idx;
+        ~Recycle()
+        {
+            fn->reset();
+            q->freeSlots_.push_back(idx);
+        }
+    } recycle{this, &fn, idx};
+    fn();
+}
+
 bool
 EventQueue::consumeOne()
 {
@@ -177,12 +184,7 @@ EventQueue::consumeOne()
     dropMin(top);
     CG_ASSERT(e.when >= now_, "event queue time went backwards");
     now_ = e.when;
-    // Consume the slot before invoking: the callback may schedule
-    // (growing slots_) or try to cancel its own id (must fail).
-    EventFn fn = std::move(slots_[e.slot].fn);
-    releaseSlot(e.slot);
-    --live_;
-    fn();
+    runSlot(e.slot);
     return true;
 }
 
@@ -206,10 +208,7 @@ EventQueue::run(Tick limit)
         const Entry e = *top;
         dropMin(top);
         now_ = e.when;
-        EventFn fn = std::move(slots_[e.slot].fn);
-        releaseSlot(e.slot);
-        --live_;
-        fn();
+        runSlot(e.slot);
     }
     if (limit != maxTick && limit > now_)
         now_ = limit;

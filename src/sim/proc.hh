@@ -30,6 +30,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/slab.hh"
 #include "sim/types.hh"
 
 namespace cg::sim {
@@ -98,6 +99,19 @@ struct PromiseCommon : PromiseBase {
     std::suspend_always initial_suspend() const noexcept { return {}; }
     FinalAwaiter final_suspend() const noexcept { return {}; }
     void unhandled_exception() { exception = std::current_exception(); }
+
+    /**
+     * Coroutine frames are the dominant steady-state allocation (every
+     * co_await chain); recycle them through the slab pool. The sized
+     * delete is required so the pool can bucket without per-frame
+     * headers.
+     */
+    static void* operator new(std::size_t sz) { return slabAlloc(sz); }
+    static void
+    operator delete(void* p, std::size_t sz) noexcept
+    {
+        slabFree(p, sz);
+    }
 };
 
 template <typename T>

@@ -1,0 +1,151 @@
+#include "sim/slab.hh"
+
+#include <new>
+#include <vector>
+
+// Sanitizer passthrough: recycling a freed block would hide the
+// use-after-free the ASan/TSan suites are there to find.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CG_SLAB_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CG_SLAB_PASSTHROUGH 1
+#endif
+#endif
+
+namespace cg::sim {
+
+#ifdef CG_SLAB_PASSTHROUGH
+
+void*
+slabAlloc(std::size_t bytes)
+{
+    return ::operator new(bytes ? bytes : 1);
+}
+
+void
+slabFree(void* p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+SlabStats
+slabStats()
+{
+    return {};
+}
+
+bool
+slabPassthrough()
+{
+    return true;
+}
+
+#else // !CG_SLAB_PASSTHROUGH
+
+namespace {
+
+constexpr std::size_t granule = 64;
+constexpr std::size_t maxPooled = 8192;
+constexpr std::size_t numBuckets = maxPooled / granule;
+
+/** size -> bucket index; only valid for sizes <= maxPooled. */
+std::size_t
+bucketOf(std::size_t bytes)
+{
+    return (bytes + granule - 1) / granule - 1;
+}
+
+/**
+ * Set once this thread's Cache has been destroyed. Thread-local
+ * destructors run before static-storage destructors, and statics may
+ * legitimately release coroutine frames or RPC tokens on their way
+ * out; after this flips, alloc/free pass straight through to the
+ * global heap instead of touching the dead pool. Trivially
+ * destructible, so reading it during TLS teardown is safe.
+ */
+thread_local bool cacheDead = false;
+
+struct Cache {
+    std::vector<void*> buckets[numBuckets];
+    SlabStats stats;
+
+    ~Cache()
+    {
+        for (auto& b : buckets)
+            for (void* p : b)
+                ::operator delete(p);
+        cacheDead = true;
+    }
+};
+
+Cache&
+cache()
+{
+    thread_local Cache c;
+    return c;
+}
+
+} // namespace
+
+void*
+slabAlloc(std::size_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (cacheDead)
+        return ::operator new(bytes);
+    Cache& c = cache();
+    ++c.stats.liveBlocks;
+    if (bytes > maxPooled) {
+        ++c.stats.poolMisses;
+        return ::operator new(bytes);
+    }
+    auto& bucket = c.buckets[bucketOf(bytes)];
+    if (!bucket.empty()) {
+        void* p = bucket.back();
+        bucket.pop_back();
+        ++c.stats.poolHits;
+        return p;
+    }
+    ++c.stats.poolMisses;
+    return ::operator new((bucketOf(bytes) + 1) * granule);
+}
+
+void
+slabFree(void* p, std::size_t bytes) noexcept
+{
+    if (!p)
+        return;
+    if (bytes == 0)
+        bytes = 1;
+    if (cacheDead) {
+        ::operator delete(p);
+        return;
+    }
+    Cache& c = cache();
+    --c.stats.liveBlocks;
+    if (bytes > maxPooled) {
+        ::operator delete(p);
+        return;
+    }
+    c.buckets[bucketOf(bytes)].push_back(p);
+}
+
+SlabStats
+slabStats()
+{
+    if (cacheDead)
+        return {};
+    return cache().stats;
+}
+
+bool
+slabPassthrough()
+{
+    return false;
+}
+
+#endif // CG_SLAB_PASSTHROUGH
+
+} // namespace cg::sim

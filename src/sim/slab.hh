@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Slab recycling for the simulator's steady-state allocations.
+ *
+ * Two allocation sites survive in the hot loop once EventFn keeps
+ * callbacks inline: coroutine frames (every co_await chain) and the
+ * shared SyncCall tokens of the RPC transports. Both are small,
+ * fixed-size, and churned millions of times per simulated second —
+ * exactly the malloc/free traffic a bucketed free list absorbs.
+ *
+ * slabAlloc/slabFree round sizes up to a 64-byte granule and recycle
+ * blocks per size class through a thread-local LIFO free list, so
+ * steady-state simulation allocates nothing after warm-up. Oversized
+ * requests (> 8 KiB) fall through to the global heap.
+ *
+ * Under AddressSanitizer or ThreadSanitizer the pool is compiled out
+ * and every call forwards to ::operator new/delete: recycling would
+ * mask use-after-free by handing the poisoned block straight back, and
+ * the sanitizer suites (scripts/ci.sh) exist to catch exactly those
+ * bugs. Perf builds get the pool; checking builds get the checking.
+ */
+
+#ifndef CG_SIM_SLAB_HH
+#define CG_SIM_SLAB_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cg::sim {
+
+/** Allocate @p bytes from the thread-local slab pool. */
+void* slabAlloc(std::size_t bytes);
+
+/**
+ * Return a slabAlloc'd block. @p bytes must be the size passed to
+ * slabAlloc (both callers — sized operator delete and
+ * SlabAllocator::deallocate — know it, so no per-block header is
+ * needed).
+ */
+void slabFree(void* p, std::size_t bytes) noexcept;
+
+/** Running totals for tests and the --stats dump. */
+struct SlabStats {
+    std::uint64_t poolHits = 0;    ///< served from a free list
+    std::uint64_t poolMisses = 0;  ///< fresh block (cold or oversized)
+    std::uint64_t liveBlocks = 0;  ///< currently allocated via slabAlloc
+};
+
+/** This thread's slab counters (zeros in sanitizer passthrough builds). */
+SlabStats slabStats();
+
+/** True when the pool is compiled out (sanitizer build). */
+bool slabPassthrough();
+
+/**
+ * Minimal std allocator over the slab pool, for
+ * std::allocate_shared and friends.
+ */
+template <typename T>
+struct SlabAllocator {
+    using value_type = T;
+
+    SlabAllocator() noexcept = default;
+    template <typename U>
+    SlabAllocator(const SlabAllocator<U>&) noexcept
+    {
+    }
+
+    T*
+    allocate(std::size_t n)
+    {
+        return static_cast<T*>(slabAlloc(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T* p, std::size_t n) noexcept
+    {
+        slabFree(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool
+    operator==(const SlabAllocator<U>&) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const SlabAllocator<U>&) const noexcept
+    {
+        return false;
+    }
+};
+
+} // namespace cg::sim
+
+#endif // CG_SIM_SLAB_HH

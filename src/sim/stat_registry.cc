@@ -79,49 +79,43 @@ StatRegistry::names() const
     return out;
 }
 
+StatRegistry::StatRef
+StatRegistry::find(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return {};
+    return StatRef{it->second.kind, it->second.ptr};
+}
+
 const Counter*
 StatRegistry::counter(const std::string& name) const
 {
-    auto it = entries_.find(name);
-    return it != entries_.end() && it->second.kind == Kind::Counter
-               ? static_cast<const Counter*>(it->second.ptr)
-               : nullptr;
+    return find(name).counter();
 }
 
 const Accumulator*
 StatRegistry::accumulator(const std::string& name) const
 {
-    auto it = entries_.find(name);
-    return it != entries_.end() && it->second.kind == Kind::Accumulator
-               ? static_cast<const Accumulator*>(it->second.ptr)
-               : nullptr;
+    return find(name).accumulator();
 }
 
 const Distribution*
 StatRegistry::distribution(const std::string& name) const
 {
-    auto it = entries_.find(name);
-    return it != entries_.end() && it->second.kind == Kind::Distribution
-               ? static_cast<const Distribution*>(it->second.ptr)
-               : nullptr;
+    return find(name).distribution();
 }
 
 const LatencyStat*
 StatRegistry::latency(const std::string& name) const
 {
-    auto it = entries_.find(name);
-    return it != entries_.end() && it->second.kind == Kind::Latency
-               ? static_cast<const LatencyStat*>(it->second.ptr)
-               : nullptr;
+    return find(name).latency();
 }
 
 const std::uint64_t*
 StatRegistry::value(const std::string& name) const
 {
-    auto it = entries_.find(name);
-    return it != entries_.end() && it->second.kind == Kind::Value
-               ? static_cast<const std::uint64_t*>(it->second.ptr)
-               : nullptr;
+    return find(name).value();
 }
 
 std::string

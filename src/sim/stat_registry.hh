@@ -62,7 +62,72 @@ class StatRegistry
     /** All registered names, sorted. */
     std::vector<std::string> names() const;
 
-    /** @{ Typed lookup; nullptr if absent or of another kind. */
+    /** Discriminator for what a registered name refers to. */
+    enum class Kind { Counter, Accumulator, Distribution, Latency, Value };
+
+    /**
+     * Resolved handle to a registered stat: the result of one
+     * string-keyed lookup, reusable for the registration's lifetime.
+     *
+     * String-keyed lookup costs a map walk plus per-character
+     * comparisons, which is fine at dump time and poison inside event
+     * callbacks. Code that reads a stat repeatedly must call find()
+     * once (at construction / bind time) and keep the StatRef; the
+     * stat-handle lint rule (tools/cg-lint) flags lookups that remain
+     * inside callback bodies. The handle is invalidated by remove()/
+     * removePrefix() of its name — the same lifetime contract as the
+     * underlying stat object.
+     */
+    struct StatRef {
+        Kind kind = Kind::Value;
+        const void* ptr = nullptr; ///< nullptr: name was not registered
+
+        explicit operator bool() const { return ptr != nullptr; }
+
+        /** @{ Typed access; nullptr if empty or of another kind. */
+        const Counter*
+        counter() const
+        {
+            return kind == Kind::Counter
+                       ? static_cast<const Counter*>(ptr)
+                       : nullptr;
+        }
+        const Accumulator*
+        accumulator() const
+        {
+            return kind == Kind::Accumulator
+                       ? static_cast<const Accumulator*>(ptr)
+                       : nullptr;
+        }
+        const Distribution*
+        distribution() const
+        {
+            return kind == Kind::Distribution
+                       ? static_cast<const Distribution*>(ptr)
+                       : nullptr;
+        }
+        const LatencyStat*
+        latency() const
+        {
+            return kind == Kind::Latency
+                       ? static_cast<const LatencyStat*>(ptr)
+                       : nullptr;
+        }
+        const std::uint64_t*
+        value() const
+        {
+            return kind == Kind::Value
+                       ? static_cast<const std::uint64_t*>(ptr)
+                       : nullptr;
+        }
+        /** @} */
+    };
+
+    /** One string-keyed lookup; empty StatRef if @p name is absent. */
+    StatRef find(const std::string& name) const;
+
+    /** @{ Typed lookup; nullptr if absent or of another kind.
+     * Convenience over find() — same cost, same caching rule. */
     const Counter* counter(const std::string& name) const;
     const Accumulator* accumulator(const std::string& name) const;
     const Distribution* distribution(const std::string& name) const;
@@ -92,8 +157,6 @@ class StatRegistry
     bool writeFile(const std::string& path) const;
 
   private:
-    enum class Kind { Counter, Accumulator, Distribution, Latency, Value };
-
     struct Entry {
         Kind kind;
         const void* ptr;

@@ -141,6 +141,39 @@ TEST(RpcTeardown, RunSlotDiesWithPublishInFlight)
     SUCCEED();
 }
 
+TEST(RpcTeardown, SlabbedTokensSurviveCallerDeathThenQueueChurn)
+{
+    // SyncCall tokens are slab-recycled (std::allocate_shared over
+    // sim::SlabAllocator). The shared_ptr keeps a dead caller's token
+    // alive while its wire poke is in flight; only after the last
+    // reference drops may the slab hand the block to a new call. This
+    // churns new calls through the recycler immediately after killing
+    // callers mid-call: a token recycled too early corrupts the
+    // in-flight call's fields (plain build) or trips ASan (sanitizer
+    // build, where the slab passes through to the real heap).
+    sim::Simulation s;
+    hw::MachineConfig mcfg;
+    mcfg.numCores = 2;
+    hw::Machine machine(s, mcfg);
+
+    auto poke = std::make_unique<sim::Notify>();
+    auto q = std::make_unique<core::SyncRpcQueue>(machine, *poke);
+    for (int round = 0; round < 16; ++round) {
+        sim::Process& caller = s.spawn("caller", callForever(*q));
+        s.runFor(0);
+        ASSERT_TRUE(q->pending());
+        caller.kill(); // token now kept alive only by queue + poke
+        // New calls immediately reuse whatever the recycler gives out.
+        sim::Process& next = s.spawn("next", callForever(*q));
+        s.runFor(0);
+        next.kill();
+    }
+    q.reset();
+    poke.reset();
+    s.run();
+    SUCCEED();
+}
+
 TEST(RpcTeardown, DoorbellDiesWithIpiInFlight)
 {
     sim::Simulation s;

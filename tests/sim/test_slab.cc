@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the slab recycler (sim/slab.hh) and the lifetime contracts
+ * of the hot paths that were moved onto it: coroutine frames and
+ * event-queue callback slots. The companion teardown-order tests for
+ * the RPC tokens live in tests/core/test_rpc_teardown.cc.
+ *
+ * Under sanitizer builds the pool is compiled out (passthrough), so
+ * the recycling assertions skip themselves and the lifetime tests run
+ * against the real heap — which is exactly where ASan would catch a
+ * use-after-free the pool could otherwise mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/proc.hh"
+#include "sim/simulation.hh"
+#include "sim/slab.hh"
+
+namespace sim = cg::sim;
+
+TEST(Slab, RecyclesWithinSizeClass)
+{
+    if (sim::slabPassthrough())
+        GTEST_SKIP() << "sanitizer build: pool compiled out";
+    void* a = sim::slabAlloc(48);
+    sim::slabFree(a, 48);
+    // Same 64-byte size class: the freed block must come straight back.
+    void* b = sim::slabAlloc(40);
+    EXPECT_EQ(a, b);
+    sim::slabFree(b, 40);
+}
+
+TEST(Slab, DistinctSizeClassesDoNotShareBlocks)
+{
+    if (sim::slabPassthrough())
+        GTEST_SKIP() << "sanitizer build: pool compiled out";
+    void* a = sim::slabAlloc(64);
+    sim::slabFree(a, 64);
+    void* b = sim::slabAlloc(65); // next size class up
+    EXPECT_NE(a, b);
+    sim::slabFree(b, 65);
+}
+
+TEST(Slab, OversizedBlocksFallThroughToHeap)
+{
+    constexpr std::size_t big = 64 * 1024;
+    void* p = sim::slabAlloc(big);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xab, big); // whole block must be writable
+    sim::slabFree(p, big);
+}
+
+TEST(Slab, StatsTrackHitsAndLiveBlocks)
+{
+    if (sim::slabPassthrough())
+        GTEST_SKIP() << "sanitizer build: pool compiled out";
+    const sim::SlabStats before = sim::slabStats();
+    void* a = sim::slabAlloc(128);
+    EXPECT_EQ(sim::slabStats().liveBlocks, before.liveBlocks + 1);
+    sim::slabFree(a, 128);
+    void* b = sim::slabAlloc(128);
+    const sim::SlabStats after = sim::slabStats();
+    EXPECT_EQ(after.liveBlocks, before.liveBlocks + 1);
+    EXPECT_GT(after.poolHits, before.poolHits);
+    sim::slabFree(b, 128);
+    EXPECT_EQ(sim::slabStats().liveBlocks, before.liveBlocks);
+}
+
+namespace {
+
+sim::Proc<int>
+addOne(int x)
+{
+    co_return x + 1;
+}
+
+sim::Proc<void>
+churnFrames(int rounds, int& sum)
+{
+    for (int i = 0; i < rounds; ++i)
+        sum += co_await addOne(i);
+}
+
+} // namespace
+
+TEST(Slab, CoroutineFramesRecycleInSteadyState)
+{
+    if (sim::slabPassthrough())
+        GTEST_SKIP() << "sanitizer build: pool compiled out";
+    sim::Simulation s;
+    int sum = 0;
+    s.spawn("churn", churnFrames(64, sum));
+    // One round warms the per-size-class free lists...
+    const sim::SlabStats warm = sim::slabStats();
+    s.run();
+    EXPECT_EQ(sum, 64 * 65 / 2);
+    // ...after which every child frame must come from the pool, not
+    // the heap: misses may not grow once the first frames came back.
+    const sim::SlabStats done = sim::slabStats();
+    EXPECT_GT(done.poolHits, warm.poolHits);
+}
+
+namespace {
+
+/** Canary capture: detects its own storage being overwritten. */
+struct Canary {
+    std::uint64_t a = 0x1122334455667788ull;
+    std::uint64_t b = 0x99aabbccddeeff00ull;
+    bool
+    intact() const
+    {
+        return a == 0x1122334455667788ull && b == 0x99aabbccddeeff00ull;
+    }
+};
+
+} // namespace
+
+TEST(EventQueueSlots, RunningCallbackSlotIsNotReusedByReschedules)
+{
+    // The running callback's slot may only return to the free list
+    // after it finishes: a callback that schedules floods of new
+    // events (recycling slots, growing the pool past a chunk
+    // boundary) must still see its own captures intact afterwards.
+    sim::EventQueue q;
+    bool checked = false;
+    struct Ctx {
+        sim::EventQueue* q;
+        bool* checked;
+    } ctx{&q, &checked};
+    Canary canary;
+    // 16-byte canary + one pointer: stays in the slot's inline buffer,
+    // so a premature slot reuse would overwrite the canary itself.
+    q.schedule(10, [&ctx, canary] {
+        for (int i = 0; i < 600; ++i)
+            ctx.q->schedule(ctx.q->now() + 1 + i, [] {});
+        EXPECT_TRUE(canary.intact());
+        *ctx.checked = true;
+    });
+    q.run(10);
+    EXPECT_TRUE(checked);
+    EXPECT_EQ(q.pending(), 600u);
+    q.run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueSlots, SelfCancelFromInsideCallbackFails)
+{
+    sim::EventQueue q;
+    sim::EventId id = sim::invalidEventId;
+    bool cancelled = true;
+    id = q.schedule(5, [&] { cancelled = q.cancel(id); });
+    q.run();
+    // By the time the callback runs, its id is consumed; a cancel must
+    // fail (and must not corrupt the queue's accounting).
+    EXPECT_FALSE(cancelled);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueSlots, StaleIdDoesNotCancelRecycledSlot)
+{
+    sim::EventQueue q;
+    int fired = 0;
+    const sim::EventId a = q.schedule(1, [&] { ++fired; });
+    q.run(2);
+    EXPECT_EQ(fired, 1);
+    // The slot behind `a` is free; new events will recycle it. The
+    // stale id must not cancel whichever new event got the slot.
+    for (int i = 0; i < 4; ++i)
+        q.schedule(10 + i, [&] { ++fired; });
+    EXPECT_FALSE(q.cancel(a));
+    q.run();
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueueSlots, ChunkGrowthInsideCallbackKeepsCapturesValid)
+{
+    // Growing the slot pool reallocates bookkeeping arrays but chunk
+    // storage is stable: a callback scheduling enough events to force
+    // multiple fresh chunks keeps executing from valid storage.
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.schedule(0, [&] {
+        for (int i = 0; i < 2000; ++i)
+            q.schedule(1, [&order, i] {
+                if (i % 500 == 0)
+                    order.push_back(i);
+            });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 500, 1000, 1500}));
+}
