@@ -1,0 +1,35 @@
+# Validates the bench_openloop_smoke outputs: the trace must be
+# Chrome trace_event JSON containing the serving-path tracepoints and
+# the stats dump must carry the open-loop workload's and the
+# multi-queue NIC's registry rows.
+# Run as: cmake -DTRACE=<path> -DSTATS=<path> -P check_openloop_smoke.cmake
+
+foreach(var TRACE STATS)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=<path>")
+    endif()
+    if(NOT EXISTS "${${var}}")
+        message(FATAL_ERROR "missing output file: ${${var}}")
+    endif()
+endforeach()
+
+file(READ "${TRACE}" trace_body)
+if(NOT trace_body MATCHES "^\\{\"traceEvents\": \\[")
+    message(FATAL_ERROR "trace is not trace_event object format")
+endif()
+if(NOT trace_body MATCHES "mq-queue-depth")
+    message(FATAL_ERROR "trace has no mq-queue-depth tracepoints")
+endif()
+if(NOT trace_body MATCHES "mq-kick-flush")
+    message(FATAL_ERROR "trace has no mq-kick-flush tracepoints")
+endif()
+
+file(READ "${STATS}" stats_body)
+if(NOT stats_body MATCHES "openloop\\.")
+    message(FATAL_ERROR "stats dump has no openloop.* rows")
+endif()
+if(NOT stats_body MATCHES "mqnet\\.")
+    message(FATAL_ERROR "stats dump has no mqnet.* rows")
+endif()
+
+message(STATUS "open-loop smoke outputs look good")

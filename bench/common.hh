@@ -44,6 +44,7 @@ namespace detail {
 inline std::string json_path;   // empty: no JSON output
 inline std::string bench_name;  // argv[0] basename
 inline std::vector<JsonRow> json_rows;
+inline bool quick_requested = false;
 
 /** Minimal JSON string escaping (quotes and backslashes). */
 inline std::string
@@ -103,6 +104,9 @@ writeJsonReport()
  *                    in every Testbed; leak edges land in the stats
  *                    dump ("check.leakEdges.*") and the trace
  *   --check-abort    as --check, but abort on the first leak edge
+ *   --quick          shrink the run for smoke tests (harnesses that
+ *                    support it check bench::quick() and cut sweep
+ *                    points / durations; others ignore it)
  */
 inline void
 initHarness(int argc, char** argv)
@@ -135,12 +139,14 @@ initHarness(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--check-abort") == 0) {
             check_requested = true;
             check_abort = true;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            detail::quick_requested = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json <path>] [--stats <path>] "
                          "[--trace <path>] [--faults <plan>] "
                          "[--fault-seed <n>] [--check] "
-                         "[--check-abort]\n",
+                         "[--check-abort] [--quick]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -151,6 +157,13 @@ initHarness(int argc, char** argv)
     if (check_requested)
         cg::check::CheckRequest::configure(check_abort);
     std::atexit(detail::writeJsonReport);
+}
+
+/** Was --quick passed? Harnesses shrink sweeps/durations when set. */
+inline bool
+quick()
+{
+    return detail::quick_requested;
 }
 
 /** Record a data point for the JSON report only (no table output). */

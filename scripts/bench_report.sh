@@ -9,7 +9,10 @@
 #   - sim_microbench events/sec (one row per microbenchmark), the raw
 #     DES-kernel throughput that bounds every sweep's wall-clock;
 #   - fig7_multi_vm wall-clock seconds (the heaviest paper bench:
-#     15 VMs), the end-to-end number a perf regression actually costs.
+#     15 VMs), the end-to-end number a perf regression actually costs;
+#   - table5_redis's open-loop serving-path sweep: p50/p99/p999 per
+#     offered-load point, each mode's p999-SLO knee, and the IPU
+#     backend's data-path exit count (must stay 0).
 #
 # The previous BENCH_PR<M>.json (highest M < N in the repo root) is
 # carried forward as each row's "baseline" and the per-metric deltas

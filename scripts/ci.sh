@@ -59,6 +59,9 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "==> [3/7] chaos gate (fault injection + recovery)"
 ctest --test-dir build --output-on-failure -R '[Cc]haos|FaultPlan'
+echo "  --> serving-path open-loop smoke (redundant with step 2, but"
+echo "      named so a serving-path regression is visible in CI output)"
+ctest --test-dir build --output-on-failure -R 'bench_openloop'
 
 echo "==> [4/7] isolation-checker gate"
 echo "  --> --check smoke + replay determinism (fig7)"

@@ -86,6 +86,9 @@ GappedVm::registerStats(sim::StatRegistry& reg)
     statGroup_.attach(reg, "gapped." + kvm_.guestVm().name());
     statGroup_.add("runToRun", runToRun_);
     statGroup_.add("runCallRtt", runCallRtt_);
+    statGroup_.add("wakeLatency", wakeLatency_);
+    statGroup_.add("wakeSpinHits", wakeSpinHits_);
+    statGroup_.add("wakeSpinSleeps", wakeSpinSleeps_);
     statGroup_.add("directInjections", directInjections_);
     statGroup_.add("syncRpcServed", syncRpc_.servedStat());
     statGroup_.add("rpcTimeouts", syncRpc_.timeoutStat());
@@ -430,6 +433,34 @@ GappedVm::wakeupThreadBody()
     // at-least-once; the per-slot delivered_ flag dedups extra rings.
     const bool watchdog = sim.faults().armed();
     for (;;) {
+        if (cfg_.wakeSpinMax > 0 && !doorbellPending_) {
+            // Adaptive spin-then-sleep: burn the spin budget polling
+            // the doorbell flag before paying the blocking-wait wake
+            // path. A hit means the workload is bursting — double the
+            // budget (up to the cap) to stay hot for the next
+            // response; a miss halves it so idle VMs decay back to
+            // pure blocking and stop wasting the host core.
+            if (wakeSpinBudget_ == 0) {
+                wakeSpinBudget_ = std::max<Tick>(
+                    cfg_.wakeSpinMax / 2, costs.pollReaction);
+            }
+            const Tick spin_start = sim.now();
+            while (!doorbellPending_ &&
+                   sim.now() - spin_start < wakeSpinBudget_)
+                co_await Compute{machine.cost(costs.pollReaction)};
+            if (doorbellPending_) {
+                wakeSpinHits_.inc();
+                sim.tracer().instant("wake-spin-hit",
+                                     sim::Tracer::domainsPid,
+                                     kvm_.guestVm().domain());
+                wakeSpinBudget_ = std::min(wakeSpinBudget_ * 2,
+                                           cfg_.wakeSpinMax);
+            } else {
+                wakeSpinSleeps_.inc();
+                wakeSpinBudget_ = std::max<Tick>(
+                    wakeSpinBudget_ / 2, costs.pollReaction);
+            }
+        }
         while (!doorbellPending_) {
             if (!watchdog) {
                 co_await wakeupNotify_.wait();
@@ -465,6 +496,9 @@ GappedVm::wakeupThreadBody()
                 co_await Compute{machine.cost(costs.pollReaction)};
                 if (slot->needsDelivery()) {
                     slot->markDelivered();
+                    // The wake-up thread's own contribution to the
+                    // serving tail: response visible -> vCPU woken.
+                    wakeLatency_.sample(sim.now() - slot->readyAt());
                     slot->hostNotify().notifyAll();
                     found = true;
                     if (reringOutstanding_) {

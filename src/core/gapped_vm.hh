@@ -35,6 +35,16 @@ struct GappedVmConfig {
     /** Quarantine-style yield-polling instead of blocking run calls. */
     bool busyWaitRun = false;
     /**
+     * Adaptive spin-then-sleep in the wake-up thread: before blocking
+     * on the doorbell, spin up to this long polling for it. The spin
+     * budget doubles after a hit (the doorbell arrived while spinning
+     * — the workload is in a request burst, stay hot) and halves
+     * after a miss, so idle VMs decay back to pure blocking. 0
+     * disables the spin entirely; runs with 0 are byte-identical to
+     * builds without this knob.
+     */
+    sim::Tick wakeSpinMax = 0;
+    /**
      * The planner that reserved guestCores, if any. The runner then
      * owns the reservations' release: exactly once, on teardown or on
      * a failed start, with cores lost to hotplug failures quarantined
@@ -138,6 +148,18 @@ class GappedVm
     /** Host-side async run-call round trip (post to response taken). */
     sim::LatencyStat& runCallRtt() { return runCallRtt_; }
 
+    /** Response visible to vCPU thread woken (the wake-up thread's
+     * contribution to the serving-path tail). */
+    sim::LatencyStat& wakeLatency() { return wakeLatency_; }
+
+    /** @{ Adaptive-spin outcome counts (wakeSpinMax > 0 only). */
+    std::uint64_t wakeSpinHits() const { return wakeSpinHits_.value(); }
+    std::uint64_t wakeSpinSleeps() const
+    {
+        return wakeSpinSleeps_.value();
+    }
+    /** @} */
+
     /** Hung monitor loops reclaimed by terminate(). */
     std::uint64_t hangReclaims() const { return hangReclaims_.value(); }
 
@@ -194,6 +216,11 @@ class GappedVm
     sim::CoreId doorbellTarget_ = 0;
     sim::LatencyStat runToRun_;
     sim::LatencyStat runCallRtt_;
+    sim::LatencyStat wakeLatency_;
+    sim::Counter wakeSpinHits_;
+    sim::Counter wakeSpinSleeps_;
+    /** Current adaptive spin budget (0 until first doorbell wait). */
+    sim::Tick wakeSpinBudget_ = 0;
     /** spi -> (vcpu index, virq) for direct delivery. */
     std::map<hw::IntId, std::pair<int, hw::IntId>> directIrqs_;
     sim::Counter directInjections_;

@@ -215,6 +215,7 @@ RunSlot::publish(rmm::RecRunResult result)
         machine_.cost(machine_.costs().cacheLineTransfer), [this] {
             pendingPublish_ = sim::invalidEventId;
             state_ = State::Done;
+            readyAt_ = machine_.sim().now();
             hostNotify_.notifyAll();
         });
 }

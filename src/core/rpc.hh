@@ -163,6 +163,9 @@ class RunSlot
         return state_ == State::Done && !delivered_;
     }
     void markDelivered() { delivered_ = true; }
+    /** When the current response became host-visible (the wake-up
+     * thread measures its own reaction latency from this). */
+    Tick readyAt() const { return readyAt_; }
     /** @} */
 
     /** Consume the response (host thread; charges the read). */
@@ -194,6 +197,7 @@ class RunSlot
     sim::Notify& monitorPoke_;
     State state_ = State::Idle;
     bool delivered_ = false;
+    Tick readyAt_ = 0;
     rmm::RecEnterArgs args_;
     rmm::RecRunResult result_;
     sim::Notify hostNotify_;

@@ -20,6 +20,7 @@ constexpr const char* siteNames[numFaultSites] = {
     "hotplug-online-fail",
     "rmi-transient-error",
     "scrub-skip",
+    "virtio-lost-kick",
 };
 
 } // namespace

@@ -51,9 +51,10 @@ enum class FaultSite : int {
     HotplugOnlineFail,  ///< a core refuses to come back online
     RmiTransientError,  ///< an RMI call bounces with a Busy status
     ScrubSkip,          ///< a teardown/rebind scrub is silently skipped
+    VirtioLostKick,     ///< EVENT_IDX recheck-after-publish is skipped
 };
 
-constexpr int numFaultSites = 9;
+constexpr int numFaultSites = 10;
 
 /** Stable kebab-case site name ("ipi-drop", ...). */
 const char* faultSiteName(FaultSite s);

@@ -46,8 +46,9 @@ Accumulator::stddev() const
 void
 Distribution::sample(double x)
 {
+    // The sorted cache needs no invalidation: ensureSorted() compares
+    // sizes and merges the new tail on the next query.
     samples_.push_back(x);
-    sortedValid_ = false;
 }
 
 void
@@ -55,7 +56,6 @@ Distribution::reset()
 {
     samples_.clear();
     sorted_.clear();
-    sortedValid_ = true;
 }
 
 double
@@ -72,11 +72,14 @@ Distribution::mean() const
 const std::vector<double>&
 Distribution::ensureSorted() const
 {
-    if (!sortedValid_) {
-        sorted_ = samples_;
-        std::sort(sorted_.begin(), sorted_.end());
-        sortedValid_ = true;
-    }
+    const size_t merged = sorted_.size();
+    if (merged == samples_.size())
+        return sorted_;
+    sorted_.insert(sorted_.end(), samples_.begin() +
+                   static_cast<std::ptrdiff_t>(merged), samples_.end());
+    const auto mid = sorted_.begin() + static_cast<std::ptrdiff_t>(merged);
+    std::sort(mid, sorted_.end());
+    std::inplace_merge(sorted_.begin(), mid, sorted_.end());
     return sorted_;
 }
 

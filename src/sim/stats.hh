@@ -58,9 +58,19 @@ class Accumulator
  * Sample-retaining distribution for percentile queries.
  *
  * Keeps every sample (simulations here produce at most a few million);
- * percentile() sorts lazily into a separate cache on the first query
- * after new samples, so samples() always returns the stable
- * insertion-order view no matter which queries ran in between.
+ * percentile() maintains a separate sorted cache, so samples() always
+ * returns the stable insertion-order view no matter which queries ran
+ * in between.
+ *
+ * The cache is kept fresh *structurally* rather than by a validity
+ * flag: sorted_ is always a sorted permutation of the first
+ * sorted_.size() samples, and a query merges in whatever tail arrived
+ * since the last one (sort the tail, then one inplace_merge). Freely
+ * interleaved sample()/percentile() sequences therefore cannot observe
+ * a stale cache — there is no flag to forget to invalidate — and a
+ * query after k new samples costs O(k log k + n) instead of re-sorting
+ * all n (the open-loop latency sweeps query p50/p99/p999 repeatedly
+ * over growing sample sets).
  */
 class Distribution
 {
@@ -82,13 +92,16 @@ class Distribution
 
   private:
     std::vector<double> samples_; ///< insertion order, query-immutable
-    mutable std::vector<double> sorted_; ///< lazily rebuilt order stats
-    mutable bool sortedValid_ = true;
+    /** Sorted copy of samples_[0, sorted_.size()); tail merged on
+     * demand. Invariant: sorted_.size() <= samples_.size() always. */
+    mutable std::vector<double> sorted_;
 
     const std::vector<double>& ensureSorted() const;
 };
 
-/** Convenience: record Tick latencies, report in ns/us. */
+/** Convenience: record Tick latencies, report in ns/us/ms. All unit
+ * conversions route through ticksToUs/ticksToMs (types.hh) so reports
+ * cannot drift from the tick-per-picosecond convention. */
 class LatencyStat
 {
   public:
@@ -97,11 +110,17 @@ class LatencyStat
 
     std::uint64_t count() const { return dist_.count(); }
     double meanNs() const { return dist_.mean() / 1e3; }
-    double meanUs() const { return dist_.mean() / 1e6; }
-    double p50Us() const { return dist_.percentile(50) / 1e6; }
-    double p95Us() const { return dist_.percentile(95) / 1e6; }
-    double p99Us() const { return dist_.percentile(99) / 1e6; }
-    double maxUs() const { return dist_.max() / 1e6; }
+    double meanUs() const { return ticksToUs(dist_.mean()); }
+    double meanMs() const { return ticksToMs(dist_.mean()); }
+    double p50Us() const { return ticksToUs(dist_.percentile(50)); }
+    double p95Us() const { return ticksToUs(dist_.percentile(95)); }
+    double p99Us() const { return ticksToUs(dist_.percentile(99)); }
+    /** The SLO tail the open-loop sweeps report (1-in-1000). */
+    double p999Us() const { return ticksToUs(dist_.percentile(99.9)); }
+    double p50Ms() const { return ticksToMs(dist_.percentile(50)); }
+    double p99Ms() const { return ticksToMs(dist_.percentile(99)); }
+    double p999Ms() const { return ticksToMs(dist_.percentile(99.9)); }
+    double maxUs() const { return ticksToUs(dist_.max()); }
     const Distribution& dist() const { return dist_; }
 
   private:

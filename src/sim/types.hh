@@ -58,6 +58,39 @@ toSec(Tick t)
     return static_cast<double>(t) / static_cast<double>(sec);
 }
 
+/**
+ * @{ Unit conversion for latency *statistics*. Distribution/LatencyStat
+ * store tick-denominated samples as doubles, so percentile/mean results
+ * come back as double tick counts; every path from those to printed
+ * us/ms numbers must go through these two helpers — hand-rolled
+ * constants (/1e6 here, /1e9 there) are how units silently drift apart
+ * between reports (the table 5 vs LatencyStat mismatch this replaced).
+ */
+constexpr double
+ticksToUs(double t)
+{
+    return t / static_cast<double>(usec);
+}
+
+constexpr double
+ticksToUs(Tick t)
+{
+    return ticksToUs(static_cast<double>(t));
+}
+
+constexpr double
+ticksToMs(double t)
+{
+    return t / static_cast<double>(msec);
+}
+
+constexpr double
+ticksToMs(Tick t)
+{
+    return ticksToMs(static_cast<double>(t));
+}
+/** @} */
+
 /** Physical core identifier within a Machine. */
 using CoreId = int;
 

@@ -25,6 +25,22 @@ KickBroker::kick(guest::VCpu& v)
 }
 
 void
+KickGate::publishArmed(sim::Tick delay, std::function<void()> on_visible)
+{
+    if (armed_ || pending_ != sim::invalidEventId)
+        return;
+    ++publishes_;
+    pending_ = queue_.scheduleIn(
+        delay, [this, fn = std::move(on_visible)] {
+            pending_ = sim::invalidEventId;
+            armed_ = true;
+            // The flag is now guest-visible; close the lost-kick
+            // window by re-checking for work that raced the publish.
+            fn();
+        });
+}
+
+void
 KickBroker::onIpi(sim::CoreId core)
 {
     auto it = pending_.find(core);

@@ -8,11 +8,13 @@
 #ifndef CG_VMM_KICK_HH
 #define CG_VMM_KICK_HH
 
+#include <functional>
 #include <map>
 #include <vector>
 
 #include "guest/vcpu.hh"
 #include "host/kernel.hh"
+#include "sim/event_queue.hh"
 
 namespace cg::vmm {
 
@@ -37,6 +39,62 @@ class KickBroker
     int ipi_;
     std::map<sim::CoreId, std::vector<guest::VCpu*>> pending_;
     std::uint64_t sent_ = 0;
+};
+
+/**
+ * The EVENT_IDX kick-suppression flag, modeled with memory-system
+ * timing. The device side publishes "armed" (please kick me) before it
+ * sleeps and disarms it while draining; the guest driver reads the
+ * flag after pushing a descriptor and only pays for the trapped
+ * doorbell write when it is visible.
+ *
+ * The publish is not instantaneous: like RunSlot's mailbox, the flag
+ * crosses a cache line, so armed() flips @c delay ticks after
+ * publishArmed(). That wire delay opens the classic EVENT_IDX lost-kick
+ * window — a descriptor pushed after the device decided to sleep but
+ * before the armed flag lands is kicked by neither side. Correct
+ * backends therefore pass an @c on_visible callback that re-checks the
+ * ring *after* the publish lands and self-notifies if work slipped in.
+ * Skipping that recheck is the bug FaultSite::VirtioLostKick restores.
+ */
+class KickGate
+{
+  public:
+    explicit KickGate(sim::EventQueue& q) : queue_(q) {}
+    ~KickGate() { queue_.cancel(pending_); }
+
+    KickGate(const KickGate&) = delete;
+    KickGate& operator=(const KickGate&) = delete;
+
+    /** Guest-visible: kick only when this reads true. */
+    bool armed() const { return armed_; }
+
+    /** Device starts draining: suppress kicks, drop any in-flight
+     * publish (its recheck is superseded by the drain itself). */
+    void disarm()
+    {
+        queue_.cancel(pending_);
+        pending_ = sim::invalidEventId;
+        armed_ = false;
+    }
+
+    /**
+     * Device is about to sleep: schedule the armed flag to become
+     * guest-visible after @p delay, then run @p on_visible (the ring
+     * recheck). No-op if already armed or a publish is in flight, so
+     * the wait loop may call this on every iteration.
+     */
+    void publishArmed(sim::Tick delay, std::function<void()> on_visible);
+
+    /** Publishes that were still in flight when the device woke up
+     * for another reason (RX traffic, a rescue recheck). */
+    std::uint64_t publishes() const { return publishes_; }
+
+  private:
+    sim::EventQueue& queue_;
+    bool armed_ = true; ///< device starts receptive: first kick lands
+    sim::EventId pending_ = sim::invalidEventId;
+    std::uint64_t publishes_ = 0;
 };
 
 } // namespace cg::vmm

@@ -23,7 +23,8 @@ copyCost(std::uint64_t bytes, double bytes_per_sec)
 // ------------------------------------------------------------- VirtioNet
 
 VirtioNet::VirtioNet(KvmVm& vm, NetworkFabric& fabric, Config cfg)
-    : vm_(vm), fabric_(fabric), cfg_(cfg)
+    : vm_(vm), fabric_(fabric), cfg_(cfg),
+      kickGate_(vm.kernel().machine().sim().queue())
 {
     port_ = fabric_.attach([this](const Packet& p) { onFabricRx(p); });
     MmioRange r;
@@ -55,8 +56,15 @@ VirtioNet::guestSend(VCpu& v, std::uint64_t bytes, int dst_port,
                      copyCost(bytes, costs.guestCopyBw)};
     const bool was_empty = txRing_.empty();
     txRing_.push_back(TxReq{bytes, dst_port, cookie});
-    if (was_empty)
+    // EVENT_IDX: a non-empty ring means the device has already been
+    // told (it drains to empty before re-arming), and the trapped
+    // doorbell is only worth a VM exit while the device's armed flag
+    // is visible — a push inside the publish window is suppressed and
+    // relies on the device's recheck-after-publish.
+    if (was_empty && kickGate_.armed())
         co_await v.mmioWrite(cfg_.mmioBase + virtioKickOffset, 1, 4);
+    else if (was_empty)
+        ++kicksSuppressed_;
 }
 
 sim::Proc<Packet>
@@ -92,6 +100,29 @@ VirtioNet::onFabricRx(const Packet& pkt)
     ioNotify_.notifyAll();
 }
 
+sim::Tick
+VirtioNet::publishDelay() const
+{
+    if (cfg_.eventIdxPublishDelay != 0)
+        return cfg_.eventIdxPublishDelay;
+    return vm_.kernel().machine().costs().cacheLineTransfer;
+}
+
+void
+VirtioNet::recheckAfterPublish()
+{
+    if (txRing_.empty() && rxBacklog_.empty())
+        return; // nothing raced the publish
+    // A descriptor landed inside the publish window: its kick was
+    // suppressed and the armed flag was not yet visible — without this
+    // recheck the queue stalls until unrelated traffic wakes us.
+    sim::Simulation& s = vm_.kernel().machine().sim();
+    if (s.faults().query(sim::FaultSite::VirtioLostKick))
+        return; // the historical bug: recheck skipped, kick lost
+    ++kickRescues_;
+    ioNotify_.notifyAll();
+}
+
 void
 VirtioNet::onGuestIrq()
 {
@@ -108,8 +139,15 @@ VirtioNet::ioThreadBody()
     const hw::Costs& costs = vm_.kernel().machine().costs();
     hw::Machine& m = vm_.kernel().machine();
     for (;;) {
-        while (txRing_.empty() && rxBacklog_.empty())
+        while (txRing_.empty() && rxBacklog_.empty()) {
+            // About to sleep: re-arm the guest-visible kick flag. The
+            // recheck runs when the publish lands, closing the window
+            // against descriptors pushed while it was in flight.
+            kickGate_.publishArmed(publishDelay(),
+                                   [this] { recheckAfterPublish(); });
             co_await ioNotify_.wait();
+        }
+        kickGate_.disarm(); // draining: kicks are redundant until idle
         if (!txRing_.empty()) {
             TxReq req = txRing_.front();
             txRing_.pop_front();

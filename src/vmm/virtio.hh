@@ -11,8 +11,11 @@
  *    host CPU): pops descriptors, pays copy costs, talks to the
  *    backend (network fabric / disk), and injects completion IRQs.
  *
- * Kick suppression mirrors virtio's EVENT_IDX: a kick is only sent
- * when the ring was previously empty.
+ * Kick suppression mirrors virtio's EVENT_IDX: the device publishes an
+ * armed flag (KickGate) before sleeping and disarms it while draining;
+ * the guest only pays for the trapped doorbell while the flag is
+ * visible. The publish has cache-line timing, so the device re-checks
+ * the ring once the flag lands (the lost-kick window close).
  */
 
 #ifndef CG_VMM_VIRTIO_HH
@@ -22,6 +25,7 @@
 #include <map>
 
 #include "vmm/disk.hh"
+#include "vmm/kick.hh"
 #include "vmm/kvm.hh"
 #include "vmm/netfabric.hh"
 
@@ -41,6 +45,10 @@ class VirtioNet
         hw::IntId irq = 40;   ///< completion/RX virtual interrupt
         int irqVcpu = 0;      ///< vCPU receiving device interrupts
         host::CpuMask ioThreadAffinity = host::CpuMask::all();
+        /** How long the EVENT_IDX armed flag takes to become guest-
+         * visible; 0 = the machine's cacheLineTransfer cost. Tests
+         * crank this up to widen the lost-kick window. */
+        sim::Tick eventIdxPublishDelay = 0;
     };
 
     VirtioNet(KvmVm& vm, NetworkFabric& fabric, Config cfg);
@@ -61,6 +69,12 @@ class VirtioNet
     std::uint64_t txPackets() const { return txPackets_; }
     std::uint64_t rxPackets() const { return rxPackets_; }
 
+    /** Kicks suppressed because the device was already draining. */
+    std::uint64_t kicksSuppressed() const { return kicksSuppressed_; }
+    /** Descriptors rescued by the recheck-after-publish (each one is
+     * a lost-kick stall that did not happen). */
+    std::uint64_t kickRescues() const { return kickRescues_; }
+
   private:
     struct TxReq {
         std::uint64_t bytes;
@@ -72,6 +86,8 @@ class VirtioNet
     void onKick();
     void onFabricRx(const Packet& pkt);
     void onGuestIrq();
+    void recheckAfterPublish();
+    sim::Tick publishDelay() const;
 
     KvmVm& vm_;
     NetworkFabric& fabric_;
@@ -82,6 +98,10 @@ class VirtioNet
     std::deque<Packet> rxDone_;    ///< copied in, awaiting guest IRQ
     /** NAPI-style coalescing of RX completion interrupts. */
     bool irqArmed_ = true;
+    /** EVENT_IDX: guest kicks only while this gate reads armed. */
+    KickGate kickGate_;
+    std::uint64_t kicksSuppressed_ = 0;
+    std::uint64_t kickRescues_ = 0;
     sim::Notify ioNotify_;
     sim::Channel<Packet> guestRx_;
     host::Thread* ioThread_ = nullptr;

@@ -5,8 +5,11 @@
 namespace cg::workloads {
 
 RemoteHost::RemoteHost(sim::Simulation& sim, vmm::NetworkFabric& fabric,
-                       Tick per_packet_cost)
-    : sim_(sim), fabric_(fabric), perPacket_(per_packet_cost)
+                       Tick per_packet_cost, int num_cpus)
+    : sim_(sim),
+      fabric_(fabric),
+      perPacket_(per_packet_cost),
+      cpuFreeAt_(static_cast<size_t>(num_cpus < 1 ? 1 : num_cpus), 0)
 {
     port_ = fabric_.attach([this](const vmm::Packet& p) { onRx(p); });
 }
@@ -22,12 +25,15 @@ RemoteHost::becomeEcho()
 void
 RemoteHost::onRx(const vmm::Packet& pkt)
 {
-    // Serialise on the remote machine's CPU: each packet costs the
-    // stack time before its handler runs.
-    const Tick start = std::max(sim_.now(), cpuFreeAt_);
-    cpuFreeAt_ = start + sim_.rng().jittered(perPacket_, 0.05);
+    // Serialise on the flow's remote CPU: each packet costs the stack
+    // time before its handler runs (RSS steers flows to cores by
+    // cookie, as on the guest side).
+    Tick& free_at = cpuFreeAt_[static_cast<size_t>(
+        pkt.cookie % cpuFreeAt_.size())];
+    const Tick start = std::max(sim_.now(), free_at);
+    free_at = start + sim_.rng().jittered(perPacket_, 0.05);
     vmm::Packet copy = pkt;
-    sim_.queue().schedule(cpuFreeAt_, [this, copy] {
+    sim_.queue().schedule(free_at, [this, copy] {
         ++received_;
         if (handler_)
             handler_(copy);

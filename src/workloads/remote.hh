@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "sim/simulation.hh"
 #include "vmm/netfabric.hh"
@@ -31,8 +32,12 @@ class RemoteHost
     /** Handler: called per received packet, after stack costs. */
     using Handler = std::function<void(const vmm::Packet&)>;
 
+    /** @p num_cpus remote cores; packets steer to cpu cookie % cpus,
+     * each core serialising its own flow set (RSS on the remote end).
+     * The default single CPU caps the remote at ~1/per_packet_cost
+     * pps, which the open-loop sweeps must not bottleneck on. */
     RemoteHost(sim::Simulation& sim, vmm::NetworkFabric& fabric,
-               Tick per_packet_cost);
+               Tick per_packet_cost, int num_cpus = 1);
 
     int port() const { return port_; }
 
@@ -54,7 +59,9 @@ class RemoteHost
     Tick perPacket_;
     int port_;
     Handler handler_;
-    Tick cpuFreeAt_ = 0; ///< the remote CPU handles packets in series
+    /** Per-CPU busy-until times; each remote core handles its share
+     * of the flows in series. */
+    std::vector<Tick> cpuFreeAt_;
     std::uint64_t received_ = 0;
 };
 

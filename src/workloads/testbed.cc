@@ -85,18 +85,27 @@ Testbed::Testbed(Config cfg) : cfg_(cfg)
     }
 }
 
+void
+Testbed::writeObservability()
+{
+    if (!observed_ || observabilityWritten_)
+        return;
+    observabilityWritten_ = true;
+    const std::string& sp = sim::ObservabilityRequest::statsPath();
+    const std::string& tp = sim::ObservabilityRequest::tracePath();
+    if (!sp.empty())
+        sim_->stats().writeFile(sp);
+    if (!tp.empty())
+        sim_->tracer().writeFile(tp);
+}
+
 Testbed::~Testbed()
 {
     // Write observability outputs first, while every component (and
-    // thus every registered stat) is still alive.
-    if (observed_) {
-        const std::string& sp = sim::ObservabilityRequest::statsPath();
-        const std::string& tp = sim::ObservabilityRequest::tracePath();
-        if (!sp.empty())
-            sim_->stats().writeFile(sp);
-        if (!tp.empty())
-            sim_->tracer().writeFile(tp);
-    }
+    // thus every registered stat) is still alive. Benches whose
+    // workloads register stats of their own call writeObservability()
+    // before those workloads die; this is the fallback.
+    writeObservability();
     // VMs reference the kernel/RMM: drop them first, in reverse order.
     while (!vms_.empty())
         vms_.pop_back();
@@ -205,6 +214,7 @@ Testbed::createVmOn(const std::string& name,
         gcfg.guestCores = guest_cores;
         gcfg.hostCores = host_mask;
         gcfg.busyWaitRun = cfg_.mode == RunMode::CoreGappedBusyWait;
+        gcfg.wakeSpinMax = cfg_.wakeSpinMax;
         gcfg.planner = planner;
         inst->gapped = std::make_unique<cg::core::GappedVm>(
             *inst->kvm, *doorbell_, gcfg);
@@ -237,6 +247,55 @@ Testbed::addVirtioBlk(VmInstance& v)
     c.irq = nextIrq_++;
     c.ioThreadAffinity = v.hostMask;
     v.vblk = std::make_unique<vmm::VirtioBlk>(*v.kvm, *disk_, c);
+}
+
+void
+Testbed::addMqNic(VmInstance& v, MqNicOptions opt)
+{
+    vmm::MqVirtioNet::Config c;
+    c.numQueues = opt.queues;
+    c.mmioBase = nextMmioBase_;
+    nextMmioBase_ += 0x1000;
+    c.irqBase = nextIrq_;
+    nextIrq_ += opt.queues;
+    c.msiSpiBase = nextSpi_;
+    nextSpi_ += opt.queues;
+    c.backend = opt.ipuOffload ? vmm::MqVirtioNet::Backend::IpuOffload
+                               : vmm::MqVirtioNet::Backend::Trapped;
+    c.directRx = opt.directRx;
+    c.kickBatchLimit = opt.kickBatchLimit;
+    c.eventIdxPublishDelay = opt.eventIdxPublishDelay;
+    c.recordTxLog = opt.recordTxLog;
+    c.ioThreadAffinity = v.hostMask;
+    if (opt.directRx && !v.gapped)
+        sim::fatal("direct interrupt delivery needs a gapped VM");
+    if (opt.ipuOffload) {
+        // Reserve the IPU's I/O cores from the testbed's free pool:
+        // they belong to the device, not to any VM's core budget.
+        const int n = std::min(opt.ipuCores, opt.queues);
+        if (nextCore_ + n > machine_->numCores()) {
+            sim::fatal("testbed: out of cores for the IPU (%d + %d > "
+                       "%d)", nextCore_, n, machine_->numCores());
+        }
+        for (int i = 0; i < n; ++i)
+            c.ipuCores.push_back(nextCore_++);
+    } else {
+        // Hosted MSI path lands on one of this VM's host cores.
+        for (sim::CoreId i = 0; i < machine_->numCores(); ++i) {
+            if (v.hostMask.test(i)) {
+                c.msiTargetCore = i;
+                break;
+            }
+        }
+    }
+    v.mqnet = std::make_unique<vmm::MqVirtioNet>(*v.kvm, *fabric_, c);
+    v.mqnet->registerStats(sim_->stats());
+    if (opt.directRx) {
+        for (int q = 0; q < opt.queues; ++q) {
+            v.gapped->mapDirectIrq(c.msiSpiBase + q, c.irqBase + q,
+                                   q % v.numVcpus());
+        }
+    }
 }
 
 void

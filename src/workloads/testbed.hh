@@ -26,6 +26,7 @@
 #include "vmm/netfabric.hh"
 #include "vmm/sriov.hh"
 #include "vmm/virtio.hh"
+#include "vmm/virtio_mq.hh"
 
 namespace cg::workloads {
 
@@ -55,6 +56,7 @@ struct VmInstance {
     std::unique_ptr<vmm::VirtioNet> vnet;
     std::unique_ptr<vmm::VirtioBlk> vblk;
     std::unique_ptr<vmm::SriovNic> sriov;
+    std::unique_ptr<vmm::MqVirtioNet> mqnet;
 
     guest::VCpu& vcpu(int i) { return vm->vcpu(i); }
     int numVcpus() const { return vm->numVcpus(); }
@@ -70,6 +72,9 @@ class Testbed
         hw::Costs costs{};
         vmm::NetworkFabric::Config fabric{};
         vmm::Disk::Config disk{};
+        /** Gapped wake-up thread adaptive spin cap (0 = off; see
+         * GappedVmConfig::wakeSpinMax). */
+        Tick wakeSpinMax = 0;
     };
 
     explicit Testbed(Config cfg);
@@ -118,6 +123,25 @@ class Testbed
      * dedicated core — the extension section 5.3 anticipates.
      */
     void addSriovNic(VmInstance& v, bool direct = false);
+
+    /** Multi-queue NIC build options (see vmm::MqVirtioNet::Config). */
+    struct MqNicOptions {
+        int queues = 4;
+        /** Emulate on reserved I/O cores with posted doorbells
+         * instead of trapped-MMIO VMM threads. */
+        bool ipuOffload = false;
+        /** Reserved I/O cores to allocate for ipuOffload (taken from
+         * the testbed's free cores, one per queue up to this). */
+        int ipuCores = 2;
+        /** Monitor-injected RX interrupts (gapped VMs only). */
+        bool directRx = false;
+        int kickBatchLimit = 8;
+        sim::Tick eventIdxPublishDelay = 0;
+        bool recordTxLog = false;
+    };
+
+    void addMqNic(VmInstance& v, MqNicOptions opt);
+    void addMqNic(VmInstance& v) { addMqNic(v, MqNicOptions()); }
     /** @} */
 
     /** Bring every VM up; opens started() when done. */
@@ -137,6 +161,15 @@ class Testbed
 
     /** Run until everything quiesces or @p limit; @return end time. */
     Tick run(Tick limit = sim::maxTick);
+
+    /**
+     * Write the claimed --stats/--trace outputs now, while workload
+     * objects whose StatGroups detach on destruction are still
+     * registered. Idempotent; the destructor calls it as a fallback
+     * for benches that never do (covering everything owned by the
+     * testbed itself).
+     */
+    void writeObservability();
 
     const std::vector<std::unique_ptr<VmInstance>>& vms() const
     {
@@ -163,6 +196,7 @@ class Testbed
     int nextCore_ = 0;
     int startFailures_ = 0;
     bool observed_ = false; ///< this testbed owns --stats/--trace output
+    bool observabilityWritten_ = false;
     int nextDomain_ = sim::firstVmDomain;
     std::uint64_t nextMmioBase_ = 0x0a000000;
     hw::IntId nextIrq_ = 40;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/stats.hh"
 
 using namespace cg::sim;
@@ -98,6 +101,67 @@ TEST(Distribution, SamplesKeepInsertionOrderAcrossQueries)
     EXPECT_TRUE(d.samples().empty());
 }
 
+TEST(Distribution, P999OfKnownData)
+{
+    Distribution d;
+    for (int i = 1; i <= 10000; ++i)
+        d.sample(static_cast<double>(i));
+    // rank = (n-1) * 0.999 = 9989.001 -> between 9990 and 9991.
+    EXPECT_NEAR(d.percentile(99.9), 9990.001, 1e-6);
+    EXPECT_NEAR(d.percentile(99), 9900.01, 1e-6);
+}
+
+TEST(Distribution, InterleavedSampleAndPercentileStaysFresh)
+{
+    // Regression for the sorted-cache staleness class of bug: any
+    // sample()/percentile() interleaving must answer as if the cache
+    // did not exist. Feed a scrambled deterministic sequence and
+    // check every query against a freshly sorted reference.
+    Distribution d;
+    std::vector<double> ref;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 500; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const double v = static_cast<double>(x % 10007);
+        d.sample(v);
+        ref.push_back(v);
+        if (i % 7 == 3 || i % 31 == 0) {
+            std::vector<double> sorted = ref;
+            std::sort(sorted.begin(), sorted.end());
+            for (double p : {1.0, 50.0, 99.0, 99.9}) {
+                const double rank =
+                    (static_cast<double>(sorted.size()) - 1.0) * p /
+                    100.0;
+                const auto lo = static_cast<std::size_t>(rank);
+                const std::size_t hi =
+                    std::min(lo + 1, sorted.size() - 1);
+                const double frac = rank - static_cast<double>(lo);
+                const double expect =
+                    sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+                EXPECT_NEAR(d.percentile(p), expect, 1e-9)
+                    << "p" << p << " after " << ref.size()
+                    << " samples";
+            }
+        }
+    }
+}
+
+TEST(Distribution, QueryAfterEverySample)
+{
+    // The worst case for an incremental cache: a query between every
+    // pair of samples, with values arriving in descending order so
+    // each merge has to move the new element to the front.
+    Distribution d;
+    for (int i = 100; i >= 1; --i) {
+        d.sample(static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(d.percentile(0), static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    }
+    EXPECT_DOUBLE_EQ(d.median(), 50.5);
+}
+
 TEST(Distribution, EmptyAndSingle)
 {
     Distribution d;
@@ -116,6 +180,42 @@ TEST(LatencyStat, UnitConversions)
     EXPECT_DOUBLE_EQ(s.meanUs(), 2.0);
     EXPECT_DOUBLE_EQ(s.meanNs(), 2000.0);
     EXPECT_DOUBLE_EQ(s.maxUs(), 3.0);
+    EXPECT_DOUBLE_EQ(s.meanMs(), 0.002);
+}
+
+TEST(LatencyStat, TailPercentilesInBothUnits)
+{
+    // 999 fast ops and one slow one: p99.9 lands on the boundary
+    // between the fast cluster and the outlier.
+    LatencyStat s;
+    for (int i = 0; i < 999; ++i)
+        s.sample(1 * usec);
+    s.sample(10 * msec);
+    // rank = 999 * 0.999 = 998.001, i.e. 0.1% of the way from the
+    // last fast sample into the outlier.
+    const double expect_ticks =
+        static_cast<double>(1 * usec) +
+        0.001 * static_cast<double>(10 * msec - 1 * usec);
+    EXPECT_NEAR(s.p999Us(), expect_ticks / 1e6, 1e-6);
+    EXPECT_NEAR(s.p999Ms(), expect_ticks / 1e9, 1e-9);
+    EXPECT_DOUBLE_EQ(s.p50Us(), 1.0);
+    EXPECT_DOUBLE_EQ(s.p50Ms(), 0.001);
+}
+
+TEST(TickConversions, Goldens)
+{
+    // The tick-per-picosecond convention, pinned: every latency
+    // report routes through these two helpers.
+    EXPECT_DOUBLE_EQ(ticksToUs(1 * usec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(1500 * nsec), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToMs(1 * msec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(250 * usec), 0.25);
+    EXPECT_DOUBLE_EQ(ticksToUs(static_cast<double>(1 * msec)),
+                     1000.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(static_cast<double>(1 * sec)),
+                     1000.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(Tick{0}), 0.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(Tick{0}), 0.0);
 }
 
 TEST(Stats, FmtDouble)
