@@ -131,6 +131,14 @@ initHarness(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--faults") == 0 &&
                    i + 1 < argc) {
             fault_plan = argv[++i];
+            if (fault_plan == "help" || fault_plan == "list") {
+                std::printf("fault sites (plan grammar: "
+                            "\"<site>[:key=val]...;...\" with keys "
+                            "nth=, p=, from=, until=, max=, param=):\n"
+                            "%s",
+                            cg::sim::faultSiteListText().c_str());
+                std::exit(0);
+            }
         } else if (std::strcmp(argv[i], "--fault-seed") == 0 &&
                    i + 1 < argc) {
             fault_seed = std::strtoull(argv[++i], nullptr, 0);

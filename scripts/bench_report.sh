@@ -12,7 +12,10 @@
 #     15 VMs), the end-to-end number a perf regression actually costs;
 #   - table5_redis's open-loop serving-path sweep: p50/p99/p999 per
 #     offered-load point, each mode's p999-SLO knee, and the IPU
-#     backend's data-path exit count (must stay 0).
+#     backend's data-path exit count (must stay 0);
+#   - ext_soak_churn's 2-sim-hour fault-armed churn soak:
+#     soak.migrations, soak.rollbacks, soak.ops, soak.quarantined and
+#     soak.leakEdges (which must stay 0).
 #
 # The previous BENCH_PR<M>.json (highest M < N in the repo root) is
 # carried forward as each row's "baseline" and the per-metric deltas
@@ -50,6 +53,7 @@ BENCHES=(
     fig8_netpipe
     fig9_iozone
     fig10_kernel_build
+    ext_soak_churn
 )
 
 for bench in "${BENCHES[@]}"; do

@@ -62,6 +62,13 @@ ctest --test-dir build --output-on-failure -R '[Cc]haos|FaultPlan'
 echo "  --> serving-path open-loop smoke (redundant with step 2, but"
 echo "      named so a serving-path regression is visible in CI output)"
 ctest --test-dir build --output-on-failure -R 'bench_openloop'
+echo "  --> churn soak smoke: short deterministic create/migrate/"
+echo "      hotplug/destroy soak, all fault sites armed, checker on;"
+echo "      run twice and diffed (bit-identical replay is the gate)"
+ctest --test-dir build --output-on-failure -R 'bench_soak_smoke'
+build/bench/ext_soak_churn --quick --check > build/soak_replay_a.txt
+build/bench/ext_soak_churn --quick --check > build/soak_replay_b.txt
+diff build/soak_replay_a.txt build/soak_replay_b.txt
 
 echo "==> [4/7] isolation-checker gate"
 echo "  --> --check smoke + replay determinism (fig7)"

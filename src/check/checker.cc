@@ -268,6 +268,13 @@ IsolationChecker::onNormalWorldReturn(CoreId core)
 }
 
 void
+IsolationChecker::onMigrationHandback(CoreId core)
+{
+    bumpEvent();
+    sweepCore(core, sim::hostDomain, LeakKind::DirtyHandback);
+}
+
+void
 IsolationChecker::onHotplug(CoreId core, bool offline)
 {
     bumpEvent();

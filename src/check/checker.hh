@@ -149,6 +149,10 @@ class IsolationChecker
     void onRecExit(CoreId core, DomainId d);
     /** @p core crossed back into the normal world. */
     void onNormalWorldReturn(CoreId core);
+    /** Migration handed @p core's source back to the host: the
+     * explicit scrub-verification choke point before the world
+     * switch (suppresses a duplicate edge at the switch itself). */
+    void onMigrationHandback(CoreId core);
     /** Hotplug: the host handed @p core away / reclaimed it. */
     void onHotplug(CoreId core, bool offline);
     /** @} */

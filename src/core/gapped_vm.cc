@@ -96,6 +96,8 @@ GappedVm::registerStats(sim::StatRegistry& reg)
     statGroup_.add("hangReclaims", hangReclaims_);
     statGroup_.add("coresLost", coresLost_);
     statGroup_.add("hotplugRetries", hotplugRetries_);
+    statGroup_.add("rebindRetries", rebindRetries_);
+    statGroup_.add("scrubRepairs", scrubRepairs_);
 }
 
 bool
@@ -260,11 +262,33 @@ GappedVm::teardown()
         const bool skip_scrub =
             machine.sim().faults().query(sim::FaultSite::ScrubSkip)
                 .has_value();
+        hw::CoreUarch& u = machine.core(core).uarch();
         if (!skip_scrub) {
-            hw::CoreUarch& u = machine.core(core).uarch();
             for (hw::TaggedStructure* st : u.all()) {
                 st->flushDomain(guest_domain);
                 st->flushDomain(sim::monitorDomain);
+            }
+        } else if (cfg_.verifyScrubs) {
+            // Scrub verification: audit the census (probe-free) and
+            // repair the skipped scrub before the handback.
+            bool residue = false;
+            for (hw::TaggedStructure* st : u.all()) {
+                if (st->auditEntriesOf(guest_domain) != 0 ||
+                    st->auditEntriesOf(sim::monitorDomain) != 0) {
+                    residue = true;
+                    break;
+                }
+            }
+            if (residue) {
+                machine.sim().faults().noteDetected(
+                    sim::FaultSite::ScrubSkip);
+                for (hw::TaggedStructure* st : u.all()) {
+                    st->flushDomain(guest_domain);
+                    st->flushDomain(sim::monitorDomain);
+                }
+                machine.sim().faults().noteRecovered(
+                    sim::FaultSite::ScrubSkip);
+                scrubRepairs_.inc();
             }
         }
         const Tick t = machine.switchWorld(core, hw::World::Normal);
@@ -596,6 +620,54 @@ GappedVm::suspend()
     }
 }
 
+sim::Proc<bool>
+GappedVm::trySuspend(Tick deadline)
+{
+    CG_ASSERT(started_ && !suspended_, "bad trySuspend");
+    hw::Machine& machine = kvm_.kernel().machine();
+    const int n = kvm_.guestVm().numVcpus();
+    for (int i = 0; i < n; ++i) {
+        if (vcpuThreads_[static_cast<size_t>(i)]->done())
+            continue;
+        Park& park = *parks_[static_cast<size_t>(i)];
+        park.requested = true;
+        park.resume.reset();
+        VCpu& v = kvm_.guestVm().vcpu(i);
+        if (v.entered()) {
+            machine.gic().sendSgi(
+                cfg_.guestCores[static_cast<size_t>(i)], kickSgi);
+        }
+    }
+    bool hung = false;
+    for (int i = 0; i < n && !hung; ++i) {
+        if (vcpuThreads_[static_cast<size_t>(i)]->done())
+            continue;
+        Park& park = *parks_[static_cast<size_t>(i)];
+        while (!park.parked) {
+            const Tick limit = machine.sim().now() + deadline;
+            const sim::EventId timer = machine.sim().queue().scheduleIn(
+                deadline, [&park] { park.parkedNotify.notifyAll(); });
+            co_await park.parkedNotify.wait();
+            machine.sim().queue().cancel(timer);
+            if (!park.parked && machine.sim().now() >= limit) {
+                hung = true;
+                break;
+            }
+        }
+    }
+    if (hung) {
+        // Roll the parks back: the VM keeps running; the caller
+        // escalates (terminate() reclaims hung monitors by force).
+        for (auto& park : parks_) {
+            park->requested = false;
+            park->resume.open();
+        }
+        co_return false;
+    }
+    suspended_ = true;
+    co_return true;
+}
+
 void
 GappedVm::resume()
 {
@@ -676,8 +748,23 @@ GappedVm::rebindVcpu(int idx, sim::CoreId new_core)
     machine.core(new_core).setOccupant(sim::monitorDomain);
 
     // 4. The monitor validates and performs the rebind, scrubbing the
-    //    old core's guest residue.
-    const rmm::RmiStatus s = rmm_.recRebind(realm_, idx, new_core);
+    //    old core's guest residue. A rate-limit refusal (Busy with a
+    //    known allowed-at tick) is not dropped: the control plane
+    //    holds the dedicated new core, backs off until the limiter
+    //    window opens, and retries — bounded so a Busy of any other
+    //    cause still rolls back.
+    rmm::RmiStatus s = rmm_.recRebind(realm_, idx, new_core);
+    for (int attempt = 0;
+         s == rmm::RmiStatus::Busy && attempt < maxRebindRetries;
+         ++attempt) {
+        const Tick allowed = rmm_.rebindAllowedAt(realm_, idx);
+        const Tick now = machine.sim().now();
+        if (allowed <= now)
+            break; // Busy for a non-rate-limit reason
+        rebindRetries_.inc();
+        co_await sim::Delay{allowed - now};
+        s = rmm_.recRebind(realm_, idx, new_core);
+    }
     if (s != rmm::RmiStatus::Success) {
         // Roll back: return the new core to the host, restart the old
         // monitor loop, unpark.

@@ -51,6 +51,15 @@ struct GappedVmConfig {
      * (kept reserved) so they are never handed out again (I7).
      */
     CorePlanner* planner = nullptr;
+    /**
+     * Scrub verification at teardown/migration handback: audit the
+     * core's tagged structures after the scrub point and re-flush if
+     * residue remains (detect-and-repair for scrub-skip injections).
+     * Default off so the checker's must-fire tests still observe a
+     * skipped scrub as a dirty-handback leak edge; long fault-armed
+     * soaks turn it on (see rmm::RmmConfig::verifyScrubs).
+     */
+    bool verifyScrubs = false;
 };
 
 class GappedVm
@@ -137,10 +146,25 @@ class GappedVm
      */
     sim::Proc<void> suspend();
 
+    /**
+     * suspend() with a bounded wait per vCPU: if a run loop fails to
+     * park within @p deadline (a hung monitor never publishes the
+     * exit), every park is rolled back and false is returned — the VM
+     * keeps running and the caller escalates (terminate()). Used by
+     * the migration controller, which must never wedge on a fault.
+     */
+    sim::Proc<bool> trySuspend(sim::Tick deadline);
+
     /** Resume a suspended VM: run loops repost their run calls. */
     void resume();
 
     bool suspended() const { return suspended_; }
+
+    const GappedVmConfig& config() const { return cfg_; }
+
+    /** Rebind retries after a rate-limit refusal (satellite: refused
+     * rebinds are backed off and retried, not dropped). */
+    std::uint64_t rebindRetries() const { return rebindRetries_.value(); }
 
     /** Monitor-side run-to-run latency (exit to next run call). */
     sim::LatencyStat& runToRun() { return runToRun_; }
@@ -166,14 +190,22 @@ class GappedVm
     /** Cores lost to double hotplug failures (quarantined). */
     std::uint64_t coresLost() const { return coresLost_.value(); }
 
+    /** Skipped scrubs caught and redone by verifyScrubs audits. */
+    std::uint64_t scrubRepairs() const { return scrubRepairs_.value(); }
+
     /** @{ Recovery policy (effective only with faults armed). */
     /** Wake-up thread watchdog sweep period (lost-doorbell rescue). */
     static constexpr sim::Tick watchdogPeriod = 250 * sim::usec;
     /** terminate() wait per vCPU before declaring the monitor hung. */
     static constexpr sim::Tick parkDeadline = 3 * sim::msec;
+    /** Rate-limited rebinds are retried at most this many times. */
+    static constexpr int maxRebindRetries = 3;
     /** @} */
 
   private:
+    /** Drives migrations through this runner's internals (park /
+     * monitor-retire / respawn); see core/migration.hh. */
+    friend class MigrationController;
     struct Park {
         bool requested = false;
         bool parked = false;
@@ -237,6 +269,9 @@ class GappedVm
     sim::Counter hangReclaims_;
     sim::Counter coresLost_;
     sim::Counter hotplugRetries_;
+    sim::Counter rebindRetries_;
+    /** Skipped scrubs caught and re-flushed (verifyScrubs). */
+    sim::Counter scrubRepairs_;
 };
 
 } // namespace cg::core

@@ -37,6 +37,37 @@ class CorePlanner
     /** Return previously reserved cores to the free pool. */
     void release(const std::vector<sim::CoreId>& cores);
 
+    /**
+     * Reserve exactly @p cores (all must be free). Used to take a
+     * destination pool a defrag plan picked; panics on a non-free
+     * core, so callers must plan and reserve atomically (the DES has
+     * no preemption inside a call).
+     */
+    void reserveExact(const std::vector<sim::CoreId>& cores);
+
+    /**
+     * Defrag-aware placement: the tightest contiguous free run that
+     * fits @p n (ties to the lowest core id), falling back to
+     * reserve()'s NUMA best-fit when no contiguous run fits.
+     */
+    std::optional<std::vector<sim::CoreId>> reserveCompact(int n);
+
+    /**
+     * Plan a defrag move for a VM currently holding @p current:
+     * treating @p current as free, pick the tightest contiguous free
+     * run (disjoint from @p current) that fits, and return it only if
+     * the move strictly grows the largest free run afterwards. Pure
+     * planning — reserves nothing; pair with reserveExact().
+     */
+    std::optional<std::vector<sim::CoreId>>
+    planDefragMove(const std::vector<sim::CoreId>& current) const;
+
+    /** Longest run of consecutive free core ids. */
+    int largestFreeRun() const;
+
+    /** 1 - largestFreeRun/freeCores in [0,1]; 0 when empty or whole. */
+    double fragmentation() const;
+
     int freeCores() const;
     int reservedCores() const;
     bool isReserved(sim::CoreId c) const;

@@ -112,6 +112,15 @@ struct Costs {
     Tick hotplugOnline = 3 * msec;
     /** @} */
 
+    /** @{ Realm migration. */
+    /**
+     * RMM copy + measurement of one 4 KiB granule during realm
+     * migration (validate source state, copy, re-tag destination).
+     * ~10 GB/s effective including the RMM's per-page bookkeeping.
+     */
+    Tick granuleCopy = 400 * nsec;
+    /** @} */
+
     /** @{ Microarchitectural refill costs (per entry, amortised). */
     Tick l1RefillPerEntry = 4 * nsec;
     Tick l2RefillPerEntry = 9 * nsec;

@@ -71,6 +71,17 @@ class TaggedStructure
     /** Entries currently held by @p d. */
     std::size_t entriesOf(DomainId d) const;
 
+    /**
+     * entriesOf() for trusted control-plane audits (scrub
+     * verification): reads the census without raising a checker probe
+     * event, since the RMM inspecting its own scrub work is not an
+     * attacker observation.
+     */
+    std::size_t auditEntriesOf(DomainId d) const
+    {
+        return residentCount(d);
+    }
+
     /** Entries held by domains other than @p prober (leakable state). */
     std::size_t foreignEntries(DomainId prober) const;
 

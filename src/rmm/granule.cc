@@ -124,6 +124,17 @@ GranuleTracker::releaseOwned(int realm)
     }
 }
 
+std::vector<std::pair<PhysAddr, GranuleState>>
+GranuleTracker::owned(int realm) const
+{
+    std::vector<std::pair<PhysAddr, GranuleState>> out;
+    for (const auto& [addr, e] : entries_) {
+        if (e.owner == realm)
+            out.emplace_back(addr, e.state);
+    }
+    return out;
+}
+
 bool
 GranuleTracker::hostAccessible(PhysAddr addr) const
 {

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -81,6 +83,10 @@ class GranuleTracker
 
     /** Release every granule owned by @p realm (realm teardown). */
     void releaseOwned(int realm);
+
+    /** Every granule owned by @p realm with its state, ascending
+     * address (the deterministic migration-copy snapshot). */
+    std::vector<std::pair<PhysAddr, GranuleState>> owned(int realm) const;
 
     /** Would a host access to @p addr be permitted by hardware? */
     bool hostAccessible(PhysAddr addr) const;

@@ -1,11 +1,29 @@
 #include "rmm/rmm.hh"
 
+#include <algorithm>
+
 #include "check/checker.hh"
 #include "sim/simulation.hh"
 
 namespace cg::rmm {
 
 using sim::Compute;
+
+const char*
+migrationPhaseName(MigrationPhase p)
+{
+    switch (p) {
+      case MigrationPhase::Idle:
+        return "idle";
+      case MigrationPhase::Prepared:
+        return "prepared";
+      case MigrationPhase::Copying:
+        return "copying";
+      case MigrationPhase::Copied:
+        return "copied";
+    }
+    return "?";
+}
 
 Rmm::Rmm(hw::Machine& machine, RmmConfig cfg)
     : machine_(machine), cfg_(cfg), authority_(0x9a7f01c3b5d2e4f6ULL)
@@ -33,6 +51,13 @@ Rmm::registerStats(sim::StatRegistry& reg)
     statGroup_.add("forcedStops", stats_.forcedStops);
     statGroup_.add("rsiCalls", stats_.rsiCalls);
     statGroup_.add("filteredInjections", stats_.filteredInjections);
+    statGroup_.add("migrationsStarted", stats_.migrationsStarted);
+    statGroup_.add("migrationsCommitted", stats_.migrationsCommitted);
+    statGroup_.add("migrationsAborted", stats_.migrationsAborted);
+    statGroup_.add("migrationGranulesCopied",
+                   stats_.migrationGranulesCopied);
+    statGroup_.add("migrationStalls", stats_.migrationStalls);
+    statGroup_.add("scrubRepairs", stats_.scrubRepairs);
 }
 
 // --------------------------------------------------------------- granules
@@ -232,6 +257,9 @@ RmiStatus
 Rmm::recDestroy(int realm_id, int rec_id)
 {
     stats_.rmiCalls.inc();
+    Realm* r = realm(realm_id);
+    if (r && r->mig.phase != MigrationPhase::Idle)
+        return RmiStatus::Busy; // abort or commit the migration first
     Rec* rec = findRec(realm_id, rec_id);
     if (!rec || rec->state == RecState::Running)
         return rec ? RmiStatus::Busy : RmiStatus::BadState;
@@ -306,6 +334,11 @@ Rmm::recRebind(int realm_id, int rec_id, CoreId new_core)
         stats_.rebindsRefused.inc();
         return RmiStatus::BadArgs;
     }
+    if (r->mig.phase != MigrationPhase::Idle) {
+        // Migration owns the realm's bindings until commit/abort.
+        stats_.rebindsRefused.inc();
+        return RmiStatus::Busy;
+    }
     if (dedicated_.count(new_core)) {
         stats_.rebindsRefused.inc();
         return RmiStatus::WrongCore; // someone else's dedicated core
@@ -327,12 +360,12 @@ Rmm::recRebind(int realm_id, int rec_id, CoreId new_core)
     // Scrub the guest's microarchitectural residue from the old core
     // before anyone else can run there. The scrub-skip fault site
     // models a buggy monitor that forgets; the isolation checker must
-    // catch the residue at the next handback or dispatch.
-    if (!machine_.sim().faults().query(sim::FaultSite::ScrubSkip)) {
-        hw::CoreUarch& old_uarch = machine_.core(rec->boundCore).uarch();
-        for (hw::TaggedStructure* s : old_uarch.all())
-            s->flushDomain(r->domain);
-    }
+    // catch the residue at the next handback or dispatch — unless
+    // verifyScrubs audits and repairs the skip on the spot.
+    if (!machine_.sim().faults().query(sim::FaultSite::ScrubSkip))
+        scrubCore(rec->boundCore, r->domain);
+    else if (cfg_.verifyScrubs)
+        repairSkippedScrub(rec->boundCore, r->domain);
     dedicated_.erase(rec->boundCore);
     dedicated_[new_core] = {realm_id, rec_id};
     rec->boundCore = new_core;
@@ -344,6 +377,256 @@ Rmm::recRebind(int realm_id, int rec_id, CoreId new_core)
     return RmiStatus::Success;
 }
 
+Tick
+Rmm::rebindAllowedAt(int realm_id, int rec_id) const
+{
+    const Rec* rec = findRec(realm_id, rec_id);
+    if (!rec || rec->lastRebind == 0)
+        return 0;
+    return rec->lastRebind + cfg_.minRebindInterval;
+}
+
+void
+Rmm::scrubCore(CoreId core, sim::DomainId d)
+{
+    hw::CoreUarch& uarch = machine_.core(core).uarch();
+    for (hw::TaggedStructure* s : uarch.all())
+        s->flushDomain(d);
+}
+
+bool
+Rmm::repairSkippedScrub(CoreId core, sim::DomainId d)
+{
+    // Audit the census without probe events: the monitor inspecting
+    // its own scrub work is not an attacker observation.
+    bool residue = false;
+    hw::CoreUarch& uarch = machine_.core(core).uarch();
+    for (hw::TaggedStructure* s : uarch.all()) {
+        if (s->auditEntriesOf(d) != 0) {
+            residue = true;
+            break;
+        }
+    }
+    if (!residue)
+        return false;
+    machine_.sim().faults().noteDetected(sim::FaultSite::ScrubSkip);
+    scrubCore(core, d);
+    machine_.sim().faults().noteRecovered(sim::FaultSite::ScrubSkip);
+    stats_.scrubRepairs.inc();
+    return true;
+}
+
+// -------------------------------------------------------------- migration
+
+RmiStatus
+Rmm::migratePrepare(int realm_id)
+{
+    stats_.rmiCalls.inc();
+    if (!cfg_.coreGapped)
+        return RmiStatus::BadState; // nothing to migrate off
+    Realm* r = realm(realm_id);
+    if (!r || r->state != RealmState::Active)
+        return RmiStatus::BadState;
+    if (r->mig.phase != MigrationPhase::Idle)
+        return RmiStatus::BadState;
+    for (const Rec& rec : r->recs) {
+        if (rec.state == RecState::Running)
+            return RmiStatus::Busy; // pause every REC first
+    }
+    r->mig = RealmMigration{};
+    r->mig.srcGranules = granules_.owned(realm_id);
+    if (r->mig.srcGranules.empty())
+        return RmiStatus::BadState; // a realm always owns its RD
+    for (const Rec& rec : r->recs) {
+        if (rec.state != RecState::Destroyed &&
+            rec.boundCore != sim::invalidCore) {
+            r->mig.savedBindings.push_back(RealmMigration::SavedBinding{
+                rec.index, rec.boundCore, rec.lastRebind});
+        }
+    }
+    r->mig.phase = MigrationPhase::Prepared;
+    stats_.migrationsStarted.inc();
+    return RmiStatus::Success;
+}
+
+RmiStatus
+Rmm::migrateCopy(int realm_id, PhysAddr dest_base,
+                 std::size_t max_granules, std::size_t& copied_out)
+{
+    stats_.rmiCalls.inc();
+    copied_out = 0;
+    Realm* r = realm(realm_id);
+    if (!r)
+        return RmiStatus::BadState;
+    RealmMigration& m = r->mig;
+    if (m.phase != MigrationPhase::Prepared &&
+        m.phase != MigrationPhase::Copying) {
+        return RmiStatus::BadState;
+    }
+    if (!granuleAligned(dest_base))
+        return RmiStatus::BadAddress;
+    if (m.phase == MigrationPhase::Prepared) {
+        m.destBase = dest_base;
+        m.phase = MigrationPhase::Copying;
+    } else if (dest_base != m.destBase) {
+        return RmiStatus::BadArgs; // one window per migration
+    }
+    if (machine_.sim().faults().query(sim::FaultSite::RttCopyStall)) {
+        // The copy engine stalled: no progress this batch. The control
+        // plane backs off and retries from the same cursor.
+        stats_.migrationStalls.inc();
+        return RmiStatus::Busy;
+    }
+    const std::size_t end =
+        max_granules == 0
+            ? m.srcGranules.size()
+            : std::min(m.srcGranules.size(), m.copied + max_granules);
+    while (m.copied < end) {
+        const auto& [src, state] = m.srcGranules[m.copied];
+        const PhysAddr dst =
+            m.destBase + m.copied * granuleSize;
+        // The host must have delegated the whole destination window.
+        const RmiStatus s = granules_.assign(dst, state, realm_id);
+        if (s != RmiStatus::Success)
+            return s;
+        ++m.copied;
+        ++copied_out;
+        stats_.migrationGranulesCopied.inc();
+        (void)src;
+    }
+    if (m.copied == m.srcGranules.size())
+        m.phase = MigrationPhase::Copied;
+    return RmiStatus::Success;
+}
+
+RmiStatus
+Rmm::migrateBindRec(int realm_id, int rec_id, CoreId new_core)
+{
+    stats_.rmiCalls.inc();
+    Realm* r = realm(realm_id);
+    if (!r || r->mig.phase != MigrationPhase::Copied)
+        return RmiStatus::BadState;
+    Rec* rec = findRec(realm_id, rec_id);
+    if (!rec || rec->boundCore == sim::invalidCore)
+        return RmiStatus::BadState;
+    if (rec->state == RecState::Running)
+        return RmiStatus::Busy;
+    if (new_core < 0 || new_core >= machine_.numCores() ||
+        new_core == rec->boundCore) {
+        return RmiStatus::BadArgs;
+    }
+    if (dedicated_.count(new_core))
+        return RmiStatus::WrongCore;
+    for (int already : r->mig.rebound) {
+        if (already == rec_id)
+            return RmiStatus::BadState; // one move per REC
+    }
+    // No scrub here: the source cores are scrubbed together at the
+    // commit handback (the scrub-verified teardown), after the last
+    // REC has left. Rollback restores the binding verbatim.
+    dedicated_.erase(rec->boundCore);
+    dedicated_[new_core] = {realm_id, rec_id};
+    rec->boundCore = new_core;
+    rec->lastRebind = machine_.sim().now();
+    r->mig.rebound.push_back(rec_id);
+    stats_.rebinds.inc();
+    machine_.sim().tracer().instant(
+        "vcpu-rebind", sim::Tracer::coresPid, new_core, "realm",
+        static_cast<std::uint64_t>(realm_id));
+    return RmiStatus::Success;
+}
+
+RmiStatus
+Rmm::migrateCommit(int realm_id)
+{
+    stats_.rmiCalls.inc();
+    Realm* r = realm(realm_id);
+    if (!r || r->mig.phase != MigrationPhase::Copied)
+        return RmiStatus::BadState;
+    RealmMigration& m = r->mig;
+    // Every REC bound at prepare must have been moved: committing with
+    // a REC still bound to a source core would strand it there.
+    for (const auto& sb : m.savedBindings) {
+        bool moved = false;
+        for (int rec_id : m.rebound)
+            moved = moved || rec_id == sb.rec;
+        const Rec* rec = findRec(realm_id, sb.rec);
+        if (rec && !moved)
+            return RmiStatus::BadState;
+    }
+    // Rewrite every granule reference to the destination window, then
+    // release (scrub) the source granules back to Delegated.
+    std::map<PhysAddr, PhysAddr> reloc;
+    for (std::size_t i = 0; i < m.srcGranules.size(); ++i)
+        reloc[m.srcGranules[i].first] = m.destBase + i * granuleSize;
+    if (auto it = reloc.find(r->rdGranule); it != reloc.end())
+        r->rdGranule = it->second;
+    for (Rec& rec : r->recs) {
+        if (auto it = reloc.find(rec.granule); it != reloc.end())
+            rec.granule = it->second;
+    }
+    r->rtt.relocate(reloc);
+    for (const auto& [src, state] : m.srcGranules)
+        granules_.release(src, state, realm_id);
+    r->mig = RealmMigration{};
+    stats_.migrationsCommitted.inc();
+    machine_.sim().tracer().instant(
+        "realm-migrate", sim::Tracer::domainsPid, r->domain, "realm",
+        static_cast<std::uint64_t>(realm_id));
+    return RmiStatus::Success;
+}
+
+RmiStatus
+Rmm::migrateAbort(int realm_id)
+{
+    stats_.rmiCalls.inc();
+    Realm* r = realm(realm_id);
+    if (!r || r->mig.phase == MigrationPhase::Idle)
+        return RmiStatus::BadState;
+    RealmMigration& m = r->mig;
+    // Release whatever reached the destination window (the RMM scrubs
+    // on release, so the partial copy leaks nothing).
+    for (std::size_t i = 0; i < m.copied; ++i) {
+        granules_.release(m.destBase + i * granuleSize,
+                          m.srcGranules[i].second, realm_id);
+    }
+    // Restore core bindings in reverse bind order.
+    for (auto it = m.rebound.rbegin(); it != m.rebound.rend(); ++it) {
+        Rec* rec = findRec(realm_id, *it);
+        if (!rec)
+            continue;
+        for (const auto& sb : m.savedBindings) {
+            if (sb.rec != *it)
+                continue;
+            dedicated_.erase(rec->boundCore);
+            dedicated_[sb.core] = {realm_id, *it};
+            rec->boundCore = sb.core;
+            rec->lastRebind = sb.lastRebind;
+            break;
+        }
+    }
+    r->mig = RealmMigration{};
+    stats_.migrationsAborted.inc();
+    machine_.sim().tracer().instant(
+        "migrate-rollback", sim::Tracer::domainsPid, r->domain, "realm",
+        static_cast<std::uint64_t>(realm_id));
+    return RmiStatus::Success;
+}
+
+MigrationPhase
+Rmm::migrationPhase(int realm_id) const
+{
+    const Realm* r = const_cast<Rmm*>(this)->realm(realm_id);
+    return r ? r->mig.phase : MigrationPhase::Idle;
+}
+
+std::size_t
+Rmm::migrationGranuleCount(int realm_id) const
+{
+    const Realm* r = const_cast<Rmm*>(this)->realm(realm_id);
+    return r ? r->mig.srcGranules.size() : 0;
+}
+
 // -------------------------------------------------------------- rec enter
 
 RmiStatus
@@ -352,6 +635,8 @@ Rmm::recEnterCheck(int realm_id, int rec_id, CoreId core) const
     const Realm* r = const_cast<Rmm*>(this)->realm(realm_id);
     if (!r || r->state != RealmState::Active)
         return RmiStatus::BadState;
+    if (r->mig.phase != MigrationPhase::Idle)
+        return RmiStatus::Busy; // paused for migration
     const Rec* rec = findRec(realm_id, rec_id);
     if (!rec || !rec->guest || rec->state == RecState::Stopped)
         return RmiStatus::BadState;

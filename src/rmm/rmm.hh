@@ -51,6 +51,16 @@ enum class RealmState { New, Active, Destroyed };
 /** REC (vCPU context) states. */
 enum class RecState { Ready, Running, Stopped, Destroyed };
 
+/**
+ * Live-migration phases of one realm (DESIGN.md section 12). Idle ->
+ * Prepared -> Copying -> Copied -> (commit | abort) -> Idle. While the
+ * phase is not Idle every other lifecycle RMI on the realm bounces
+ * with Busy, so a migration can never interleave with enter/destroy.
+ */
+enum class MigrationPhase { Idle, Prepared, Copying, Copied };
+
+const char* migrationPhaseName(MigrationPhase p);
+
 struct RealmParams {
     std::string name = "realm";
     std::uint64_t personalization = 0;
@@ -70,6 +80,27 @@ class Rec
     GuestContext* guest = nullptr;
 };
 
+/** In-flight live-migration bookkeeping for one realm. */
+struct RealmMigration {
+    MigrationPhase phase = MigrationPhase::Idle;
+    /** Base of the destination granule window (set by first copy). */
+    PhysAddr destBase = 0;
+    /** Source granules snapshotted at prepare, ascending address;
+     * srcGranules[i] is mirrored to destBase + i * granuleSize. */
+    std::vector<std::pair<PhysAddr, GranuleState>> srcGranules;
+    /** Copy cursor into srcGranules (resumable after a stall). */
+    std::size_t copied = 0;
+    /** Core bindings at prepare time, for rollback. */
+    struct SavedBinding {
+        int rec = -1;
+        CoreId core = sim::invalidCore;
+        Tick lastRebind = 0;
+    };
+    std::vector<SavedBinding> savedBindings;
+    /** RECs already rebound onto destination cores. */
+    std::vector<int> rebound;
+};
+
 /** One confidential VM. */
 class Realm
 {
@@ -82,6 +113,7 @@ class Realm
     Rtt rtt;
     Measurement measurement;
     std::vector<Rec> recs;
+    RealmMigration mig;
 };
 
 struct RmmConfig {
@@ -100,6 +132,16 @@ struct RmmConfig {
      * there is no other work for that core anyway, section 4.3).
      */
     bool localWfi = false;
+    /**
+     * Scrub verification: after a scrub point, audit the core's tagged
+     * structures for leftover realm residue and re-flush if any is
+     * found (detect-and-repair for the scrub-skip fault). Off by
+     * default — the default monitor *trusts* its scrub code, which is
+     * exactly what lets the isolation checker prove a skipped scrub
+     * leaks (the dirty-handback oracle). Long soaks turn this on to
+     * run fault-armed yet leak-free.
+     */
+    bool verifyScrubs = false;
 };
 
 /** Arguments to REC enter (subset of RmiRecEnter). */
@@ -143,6 +185,16 @@ struct RmmStats {
     /** Host-supplied injections of monitor-owned interrupt ids that
      * the monitor refused (forged timer ticks / virtual IPIs). */
     sim::Counter filteredInjections;
+    /** @{ Live migration (DESIGN.md section 12). */
+    sim::Counter migrationsStarted;
+    sim::Counter migrationsCommitted;
+    sim::Counter migrationsAborted;
+    sim::Counter migrationGranulesCopied;
+    /** Copy batches bounced by an injected rtt-copy-stall. */
+    sim::Counter migrationStalls;
+    /** @} */
+    /** Skipped scrubs caught and re-flushed (verifyScrubs). */
+    sim::Counter scrubRepairs;
 };
 
 class Rmm
@@ -219,6 +271,42 @@ class Rmm
      */
     RmiStatus recRebind(int realm, int rec, CoreId new_core);
 
+    /**
+     * @{ RMI: realm live migration (DESIGN.md section 12).
+     *
+     * The flow mirrors the granule-by-granule style of the paged RMIs:
+     * prepare snapshots the realm's granules and core bindings (all
+     * RECs must be paused), copy moves batches into a host-delegated
+     * destination window (resumable; an injected rtt-copy-stall
+     * bounces a batch with Busy and no progress), bindRec moves each
+     * REC's dedicated-core binding, and commit atomically rewrites
+     * every granule reference (RD, RECs, RTT tables and leaves) to the
+     * destination and releases the source granules. Abort at any
+     * pre-commit point restores bindings and releases the partial
+     * destination copy — the realm keeps running on the source as if
+     * nothing happened. The RMM charges no transport/copy costs here
+     * (same contract as every other RMI); the control plane charges
+     * Costs::granuleCopy per granule.
+     */
+    RmiStatus migratePrepare(int realm);
+    RmiStatus migrateCopy(int realm, PhysAddr dest_base,
+                          std::size_t max_granules,
+                          std::size_t& copied_out);
+    RmiStatus migrateBindRec(int realm, int rec, CoreId new_core);
+    RmiStatus migrateCommit(int realm);
+    RmiStatus migrateAbort(int realm);
+    MigrationPhase migrationPhase(int realm) const;
+    /** Total granules a prepared migration must copy (0 if idle). */
+    std::size_t migrationGranuleCount(int realm) const;
+    /** @} */
+
+    /**
+     * Earliest tick at which recRebind would pass the rate limiter for
+     * this REC (0 = immediately). The control plane uses this to back
+     * off instead of dropping a refused rebind.
+     */
+    Tick rebindAllowedAt(int realm, int rec) const;
+
     /** RSI-equivalent: produce an attestation token for a realm. */
     RmiStatus attest(int realm, std::uint64_t challenge,
                      AttestationToken& out);
@@ -235,6 +323,11 @@ class Rmm
   private:
     Rec* findRec(int realm, int rec);
     const Rec* findRec(int realm, int rec) const;
+    /** flushDomain(@p d) across @p core's tagged structures. */
+    void scrubCore(CoreId core, sim::DomainId d);
+    /** verifyScrubs audit: re-flush @p core if @p d residue remains;
+     * @return true when a skipped scrub was caught and repaired. */
+    bool repairSkippedScrub(CoreId core, sim::DomainId d);
     Proc<void> deliverVIpi(Realm& r, int target_rec);
     std::vector<hw::IntId> hostLrViewOf(GuestContext& g) const;
     Tick cost(Tick nominal);

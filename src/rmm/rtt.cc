@@ -92,6 +92,35 @@ Rtt::tablesComplete(Ipa ipa) const
     return walk(ipa, rttLeafLevel) != nullptr;
 }
 
+std::size_t
+Rtt::relocateNode(Node& n, const std::map<PhysAddr, PhysAddr>& map)
+{
+    std::size_t rewrites = 0;
+    if (n.granule != 0) {
+        auto it = map.find(n.granule);
+        if (it != map.end()) {
+            n.granule = it->second;
+            ++rewrites;
+        }
+    }
+    for (auto& [idx, pa] : n.leaves) {
+        auto it = map.find(pa);
+        if (it != map.end()) {
+            pa = it->second;
+            ++rewrites;
+        }
+    }
+    for (auto& [idx, child] : n.children)
+        rewrites += relocateNode(*child, map);
+    return rewrites;
+}
+
+std::size_t
+Rtt::relocate(const std::map<PhysAddr, PhysAddr>& map)
+{
+    return relocateNode(root_, map);
+}
+
 int
 Rtt::walkLevel(Ipa ipa) const
 {

@@ -78,6 +78,14 @@ class Rtt
     std::size_t mappedPages() const { return mapped_; }
     std::size_t tableCount() const { return tables_; }
 
+    /**
+     * Rewrite every table granule and leaf page address through
+     * @p map (old physical address -> new), the final step of a
+     * committed realm migration. Addresses absent from the map are
+     * left untouched. @return the number of rewrites applied.
+     */
+    std::size_t relocate(const std::map<PhysAddr, PhysAddr>& map);
+
   private:
     struct Node {
         PhysAddr granule = 0;
@@ -87,6 +95,8 @@ class Rtt
 
     const Node* walk(Ipa ipa, int to_level) const;
     Node* walk(Ipa ipa, int to_level);
+    static std::size_t relocateNode(Node& n,
+                                    const std::map<PhysAddr, PhysAddr>& map);
 
     Node root_;
     std::size_t mapped_ = 0;

@@ -21,9 +21,23 @@ constexpr const char* siteNames[numFaultSites] = {
     "rmi-transient-error",
     "scrub-skip",
     "virtio-lost-kick",
+    "migration-abort",
+    "rtt-copy-stall",
 };
 
 } // namespace
+
+std::string
+faultSiteListText()
+{
+    std::string out;
+    for (int i = 0; i < numFaultSites; ++i) {
+        out += "  ";
+        out += siteNames[i];
+        out += '\n';
+    }
+    return out;
+}
 
 const char*
 faultSiteName(FaultSite s)
@@ -227,8 +241,10 @@ FaultPlan::parse(const std::string& text)
         const std::vector<std::string> parts = split(clause, ':');
         FaultSpec spec;
         const auto site = faultSiteFromName(parts[0]);
-        if (!site)
-            fatal("fault plan: unknown site '%s'", parts[0].c_str());
+        if (!site) {
+            fatal("fault plan: unknown site '%s'; known sites:\n%s",
+                  parts[0].c_str(), faultSiteListText().c_str());
+        }
         spec.site = *site;
         for (std::size_t i = 1; i < parts.size(); ++i) {
             const std::size_t eq = parts[i].find('=');

@@ -52,15 +52,23 @@ enum class FaultSite : int {
     RmiTransientError,  ///< an RMI call bounces with a Busy status
     ScrubSkip,          ///< a teardown/rebind scrub is silently skipped
     VirtioLostKick,     ///< EVENT_IDX recheck-after-publish is skipped
+    MigrationAbort,     ///< a realm migration phase aborts mid-flight
+    RttCopyStall,       ///< a migration RTT/granule copy batch stalls
 };
 
-constexpr int numFaultSites = 10;
+constexpr int numFaultSites = 12;
 
 /** Stable kebab-case site name ("ipi-drop", ...). */
 const char* faultSiteName(FaultSite s);
 
 /** Parse a site name; nullopt if unknown. */
 std::optional<FaultSite> faultSiteFromName(const std::string& name);
+
+/**
+ * One line per site, "  <name>\n" — the menu printed by `--faults
+ * help` and appended to the unknown-site parse error.
+ */
+std::string faultSiteListText();
 
 /**
  * One fault declaration. All predicates must hold for the fault to

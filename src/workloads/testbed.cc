@@ -133,6 +133,7 @@ Testbed::rmmConfigFor(RunMode m) const
         r.localWfi = true;
         break;
     }
+    r.verifyScrubs = cfg_.verifyScrubs;
     return r;
 }
 
@@ -216,6 +217,7 @@ Testbed::createVmOn(const std::string& name,
         gcfg.busyWaitRun = cfg_.mode == RunMode::CoreGappedBusyWait;
         gcfg.wakeSpinMax = cfg_.wakeSpinMax;
         gcfg.planner = planner;
+        gcfg.verifyScrubs = cfg_.verifyScrubs;
         inst->gapped = std::make_unique<cg::core::GappedVm>(
             *inst->kvm, *doorbell_, gcfg);
     }
@@ -340,6 +342,18 @@ void
 Testbed::spawnStart()
 {
     sim_->spawn("testbed-start", startAll());
+}
+
+void
+Testbed::destroyVm(VmInstance& v)
+{
+    for (auto it = vms_.begin(); it != vms_.end(); ++it) {
+        if (it->get() == &v) {
+            vms_.erase(it);
+            return;
+        }
+    }
+    sim::fatal("destroyVm: VM is not in this testbed");
 }
 
 bool

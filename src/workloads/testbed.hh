@@ -75,6 +75,11 @@ class Testbed
         /** Gapped wake-up thread adaptive spin cap (0 = off; see
          * GappedVmConfig::wakeSpinMax). */
         Tick wakeSpinMax = 0;
+        /** Scrub verification (detect-and-repair of scrub-skip
+         * injections) in the RMM and every gapped runner; see
+         * rmm::RmmConfig::verifyScrubs. Fault-armed soaks turn this
+         * on to run leak-free. */
+        bool verifyScrubs = false;
     };
 
     explicit Testbed(Config cfg);
@@ -176,6 +181,14 @@ class Testbed
         return vms_;
     }
     VmInstance& vmAt(std::size_t i) { return *vms_.at(i); }
+
+    /**
+     * Drop a VM the churn driver is done with (guest shut down and —
+     * for gapped VMs — teardown()/terminate() awaited first, so the
+     * cores and planner reservations are already back). Invalidates
+     * @p v and every reference into it.
+     */
+    void destroyVm(VmInstance& v);
 
   private:
     rmm::RmmConfig rmmConfigFor(RunMode m) const;

@@ -25,6 +25,7 @@
 #include "attacks/catalog.hh"
 #include "attacks/lab.hh"
 #include "check/checker.hh"
+#include "core/migration.hh"
 #include "sim/fault.hh"
 #include "sim/simulation.hh"
 #include "workloads/coremark.hh"
@@ -141,6 +142,86 @@ runChecked(RunMode mode, bool with_checker = true,
     return r;
 }
 
+/** Everything a migration-under-observation test may probe. */
+struct MigrationCheckedRun {
+    cg::core::MigrateResult result = cg::core::MigrateResult::Refused;
+    std::uint64_t dirtyHandbackAfterMove = 0; ///< before terminate
+    std::uint64_t dirtyHandback = 0;
+    std::uint64_t edgeTotal = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t scrubRepairs = 0;
+    std::uint64_t detected = 0;  ///< for @p site
+    std::uint64_t recovered = 0; ///< for @p site
+};
+
+Proc<void>
+migrateMidRun(Testbed& bed, cg::core::MigrationController& ctrl,
+              std::vector<sim::CoreId> dest,
+              cg::core::MigrateResult& out)
+{
+    co_await bed.started().wait();
+    co_await sim::Delay{60 * msec};
+    out = co_await ctrl.migrateTo(std::move(dest));
+}
+
+/**
+ * A victim CVM runs CPU work (dirtying its dedicated cores), migrates
+ * mid-run to a fresh pool, finishes, and is terminated — all under an
+ * IsolationChecker, with @p fault_plan armed. The migration's source
+ * handback is the checked surface: residue left by a skipped scrub
+ * must show up as a dirty-handback edge.
+ */
+MigrationCheckedRun
+runMigrationChecked(const std::string& fault_plan, sim::FaultSite site,
+                    bool verify_scrubs = false)
+{
+    Testbed::Config cfg;
+    cfg.numCores = 8;
+    cfg.mode = RunMode::CoreGapped;
+    cfg.verifyScrubs = verify_scrubs;
+    Testbed bed(cfg);
+    IsolationChecker checker(bed.sim().queue());
+    bed.machine().attachChecker(&checker);
+    if (!fault_plan.empty()) {
+        bed.sim().faults().arm(17,
+                               sim::FaultPlan::parse(fault_plan));
+    }
+
+    guest::VmConfig vcfg;
+    vcfg.footprint = 900;
+    VmInstance& victim = bed.createVm("victim", 3, vcfg);
+    CoreMarkPro::Config wcfg;
+    wcfg.duration = 250 * msec;
+    CoreMarkPro work(bed, victim, wcfg);
+    work.install();
+
+    cg::core::MigrationController ctrl(*victim.gapped, nullptr);
+    MigrationCheckedRun r;
+    bed.spawnStart();
+    bed.sim().spawn("migrate",
+                    migrateMidRun(bed, ctrl, {3, 4}, r.result));
+    bed.run(2 * sim::sec);
+    // Snapshot between the move and the terminate: any dirty-handback
+    // edge so far is the migration's, not teardown's.
+    r.dirtyHandbackAfterMove =
+        checker.edgeCount(LeakKind::DirtyHandback);
+    bed.run(3 * sim::sec);
+    bed.sim().spawn("terminate-all", terminateAll(bed));
+    bed.run(4 * sim::sec);
+
+    r.dirtyHandback = checker.edgeCount(LeakKind::DirtyHandback);
+    r.edgeTotal = checker.edgeTotal();
+    r.stalls = bed.rmm().stats().migrationStalls.value();
+    r.aborted = bed.rmm().stats().migrationsAborted.value();
+    r.scrubRepairs = bed.rmm().stats().scrubRepairs.value() +
+                     victim.gapped->scrubRepairs();
+    r.detected = bed.sim().faults().detectionLatency(site).count();
+    r.recovered = bed.sim().faults().recoveryLatency(site).count();
+    bed.machine().attachChecker(nullptr);
+    return r;
+}
+
 } // namespace
 
 TEST(CheckProperties, GappedScenariosRaiseZeroLeakEdges)
@@ -245,6 +326,65 @@ TEST(CheckMustFire, ScrubSkipFaultIsCaughtByTheChecker)
     // signature, not checker noise.
     CheckedRun clean = runChecked(RunMode::CoreGapped);
     EXPECT_EQ(clean.edgeTotal, 0u);
+}
+
+TEST(CheckMustFire, MigrationScrubSkipFiresDirtyHandback)
+{
+    // The acceptance oracle for scrub-verified teardown: skipping the
+    // source-core scrub on a migration handback MUST be caught by the
+    // checker as a dirty-handback edge. The first scrub-skip query in
+    // this scenario is the migration's (the VM never rebinds and is
+    // terminated only later), so nth=1 pins the fault to the move.
+    MigrationCheckedRun r = runMigrationChecked(
+        "scrub-skip:nth=1", sim::FaultSite::ScrubSkip);
+    EXPECT_EQ(r.result, cg::core::MigrateResult::Committed);
+    EXPECT_GE(r.dirtyHandbackAfterMove, 1u);
+
+    // The identical run without the fault is silent end to end: the
+    // edge is the skipped scrub's signature, not migration noise.
+    MigrationCheckedRun clean =
+        runMigrationChecked("", sim::FaultSite::ScrubSkip);
+    EXPECT_EQ(clean.result, cg::core::MigrateResult::Committed);
+    EXPECT_EQ(clean.edgeTotal, 0u);
+}
+
+TEST(CheckMustFire, MigrationScrubVerifyRepairsTheSkippedScrub)
+{
+    // With verifyScrubs on, the same injection is audited, repaired,
+    // and counted — and the checker stays silent.
+    MigrationCheckedRun r = runMigrationChecked(
+        "scrub-skip:nth=1", sim::FaultSite::ScrubSkip,
+        /*verify_scrubs=*/true);
+    EXPECT_EQ(r.result, cg::core::MigrateResult::Committed);
+    EXPECT_EQ(r.edgeTotal, 0u);
+    EXPECT_GE(r.scrubRepairs, 1u);
+    EXPECT_GE(r.detected, 1u);
+    EXPECT_GE(r.recovered, 1u);
+}
+
+TEST(CheckMustFire, MigrationAbortInjectionIsDetectedAndRecovered)
+{
+    // Abort at the post-copy boundary: the retry commits, the fault is
+    // detected and recovered, and no leak edge appears anywhere along
+    // the rollback (undone copies are scrubbed with the rest).
+    MigrationCheckedRun r = runMigrationChecked(
+        "migration-abort:nth=2", sim::FaultSite::MigrationAbort);
+    EXPECT_EQ(r.result, cg::core::MigrateResult::Committed);
+    EXPECT_GE(r.aborted, 1u);
+    EXPECT_GE(r.detected, 1u);
+    EXPECT_GE(r.recovered, 1u);
+    EXPECT_EQ(r.edgeTotal, 0u);
+}
+
+TEST(CheckMustFire, RttCopyStallInjectionIsDetectedAndRecovered)
+{
+    MigrationCheckedRun r = runMigrationChecked(
+        "rtt-copy-stall:nth=1", sim::FaultSite::RttCopyStall);
+    EXPECT_EQ(r.result, cg::core::MigrateResult::Committed);
+    EXPECT_GE(r.stalls, 1u);
+    EXPECT_GE(r.detected, 1u);
+    EXPECT_GE(r.recovered, 1u);
+    EXPECT_EQ(r.edgeTotal, 0u);
 }
 
 TEST(CheckMustFire, RequestPlumbingBuildsACheckerPerTestbed)

@@ -136,15 +136,59 @@ TEST_F(RebindFixture, RateLimitEnforcesCoarseTimescales)
     sim.spawn("r1", doRebind(*gapped, 0, 2, first));
     sim.runFor(100 * msec);
     ASSERT_EQ(first, 1);
-    // An immediate second move is refused (Busy) and rolled back.
+    // An immediate second move is refused by the monitor's limiter
+    // (Busy, counted), but the control plane does not drop it: it
+    // holds the new core, backs off until the window opens, and
+    // retries — so the rebind eventually lands.
     int second = -1;
     sim.spawn("r2", doRebind(*gapped, 0, 3, second));
     sim.runFor(200 * msec);
-    EXPECT_EQ(second, 0);
+    // Still inside the rate-limit window: nothing moved yet.
+    EXPECT_EQ(second, -1);
     EXPECT_EQ(rmm->recBinding(kvm->realmId(), 0), 2);
-    EXPECT_TRUE(kernel->isOnline(3)); // rolled back to the host
     EXPECT_GE(rmm->stats().rebindsRefused.value(), 1u);
-    // The guest keeps running on the rolled-back placement.
+    // After the window opens the retry succeeds.
+    sim.runFor(11 * sim::sec);
+    EXPECT_EQ(second, 1);
+    EXPECT_EQ(rmm->recBinding(kvm->realmId(), 0), 3);
+    EXPECT_GE(gapped->rebindRetries(), 1u);
+    EXPECT_TRUE(kernel->isOnline(2)); // old core back with the host
+    // The guest keeps running across the backed-off move.
+    sim.run(40 * sim::sec);
+    EXPECT_TRUE(gapped->shutdownGate().isOpen());
+}
+
+TEST_F(RebindFixture, MigrationBusyIsNotMistakenForRateLimit)
+{
+    // The retry loop only backs off when the limiter refused the move
+    // (rebindAllowedAt in the future). A Busy from an in-flight
+    // migration reports allowed-at 0, so the control plane rolls back
+    // instead of spinning on a refusal that backoff cannot cure.
+    boot(6, /*min_rebind_interval=*/10 * sim::sec);
+    vm->vcpu(0).startGuest(
+        "w", computeAndShutdown(vm->vcpu(0), 2 * sim::sec));
+    sim.spawn("starter", startGapped(*gapped));
+    sim.runFor(100 * msec);
+
+    int susp = -1;
+    sim.spawn("susp", [](GappedVm& g, int& out) -> Proc<void> {
+        out = (co_await g.trySuspend(GappedVm::parkDeadline)) ? 1 : 0;
+    }(*gapped, susp));
+    sim.runFor(100 * msec);
+    ASSERT_EQ(susp, 1);
+    ASSERT_EQ(rmm->migratePrepare(kvm->realmId()),
+              cg::rmm::RmiStatus::Success);
+
+    const auto refused_before = rmm->stats().rebindsRefused.value();
+    EXPECT_EQ(rmm->recRebind(kvm->realmId(), 0, 3),
+              cg::rmm::RmiStatus::Busy);
+    EXPECT_EQ(rmm->stats().rebindsRefused.value(), refused_before + 1);
+    // Not the limiter: the window is open (no rebind ever happened).
+    EXPECT_EQ(rmm->rebindAllowedAt(kvm->realmId(), 0), 0u);
+
+    ASSERT_EQ(rmm->migrateAbort(kvm->realmId()),
+              cg::rmm::RmiStatus::Success);
+    gapped->resume();
     sim.run(30 * sim::sec);
     EXPECT_TRUE(gapped->shutdownGate().isOpen());
 }

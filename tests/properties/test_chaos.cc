@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/gapped_vm.hh"
+#include "core/migration.hh"
 #include "core/planner.hh"
 #include "core/rpc.hh"
 #include "sim/fault.hh"
@@ -583,6 +584,79 @@ TEST(ChaosRpc, UnservicedCallTimesOutInsteadOfSpinningForever)
     bed.run(bed.sim().now() + 5 * sim::sec);
     ASSERT_TRUE(done) << "bounded busy-wait never gave up";
     EXPECT_EQ(status, rmm::RmiStatus::Timeout);
+}
+
+// ------------------------------------- hotplug racing a live migration
+
+namespace {
+
+Proc<void>
+migrateThenFlag(Testbed& bed, cg::core::MigrationController& ctrl,
+                std::vector<sim::CoreId> dest,
+                cg::core::MigrateResult& out)
+{
+    co_await bed.started().wait();
+    co_await sim::Delay{30 * msec};
+    out = co_await ctrl.migrateTo(std::move(dest));
+}
+
+} // namespace
+
+TEST(ChaosMigration, HotplugFailuresRacingTheMoveStillRecover)
+{
+    // A migration both offlines cores (taking the destination pool)
+    // and onlines them (handing the source pool back). Failing each
+    // once, mid-flight, must be absorbed by the controller's single
+    // retry: the move commits and no core is lost or left offline.
+    // The window starts after bring-up so the injections land on the
+    // migration's hotplug calls, not the VM's.
+    Testbed::Config cfg;
+    cfg.numCores = 6;
+    cfg.mode = RunMode::CoreGapped;
+    cfg.seed = 21;
+    Testbed bed(cfg);
+    bed.sim().faults().arm(13, FaultPlan::parse(
+        "hotplug-offline-fail:from=25ms:nth=1:max=1;"
+        "hotplug-online-fail:from=25ms:nth=1:max=1"));
+    VmInstance& vm = bed.createVm("mover", 3); // host 0, guests {1,2}
+    std::vector<std::uint64_t> rounds(2, 0);
+    for (int i = 0; i < 2; ++i) {
+        vm.vcpu(i).startGuest(
+            "w", faultingWorker(bed, vm.vcpu(i), i, 24,
+                                rounds[static_cast<size_t>(i)]));
+    }
+    bed.spawnStart();
+
+    cg::core::MigrationController ctrl(*vm.gapped, nullptr);
+    auto result = cg::core::MigrateResult::Refused;
+    bed.sim().spawn("migrate",
+                    migrateThenFlag(bed, ctrl, {3, 4}, result));
+    bed.run(bed.sim().now() + 5 * sim::sec);
+
+    EXPECT_EQ(result, cg::core::MigrateResult::Committed);
+    EXPECT_GE(bed.sim().faults().injected(FaultSite::HotplugOfflineFail) +
+                  bed.sim().faults().injected(FaultSite::HotplugOnlineFail),
+              1u);
+    EXPECT_TRUE(bed.allShutdown());
+    for (std::uint64_t r : rounds)
+        EXPECT_EQ(r, 24u);
+    EXPECT_EQ(vm.gapped->coresLost(), 0u);
+    // Source pool back with the host, destination pool dedicated.
+    for (sim::CoreId c : {1, 2})
+        EXPECT_TRUE(bed.kernel().isOnline(c)) << c;
+    for (sim::CoreId c : {3, 4}) {
+        EXPECT_FALSE(bed.kernel().isOnline(c)) << c;
+        EXPECT_EQ(bed.rmm().dedicatedOwner(c), vm.kvm->realmId()) << c;
+    }
+
+    bool torn = false;
+    bed.sim().spawn("teardown", teardownThenFlag(*vm.gapped, torn));
+    bed.run(bed.sim().now() + 5 * sim::sec);
+    ASSERT_TRUE(torn);
+    for (sim::CoreId c : {1, 2, 3, 4}) {
+        EXPECT_TRUE(bed.kernel().isOnline(c)) << c;
+        EXPECT_EQ(bed.machine().core(c).world(), hw::World::Normal);
+    }
 }
 
 // ------------------------------------------------ state-machine guards
